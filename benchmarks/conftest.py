@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation beyond the paper) and prints the reproduced rows/series so the run
+log can be compared with the publication.  The paper-scale experiments are
+executed once per benchmark (``pedantic`` mode) because the interesting
+quantity is the reproduced science, not the harness's own runtime; the
+micro-benchmarks use normal pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, DesignCampaign
+from repro.protein.datasets import expanded_pdz_set, named_pdz_targets
+
+#: Seed used by every paper-reproduction benchmark.
+PAPER_SEED = 2025
+
+
+def run_campaign(protocol: str, *, targets=None, seed: int = PAPER_SEED, **overrides):
+    """Run one campaign with the paper's defaults and return (campaign, result)."""
+    campaign_targets = targets if targets is not None else named_pdz_targets(seed=seed)
+    config = CampaignConfig(protocol=protocol, seed=seed, **overrides)
+    campaign = DesignCampaign(campaign_targets, config)
+    return campaign, campaign.run()
+
+
+@pytest.fixture(scope="session")
+def paper_targets():
+    """The four named PDZ targets used by Table I / Fig 2 / Figs 4-5."""
+    return named_pdz_targets(seed=PAPER_SEED)
+
+
+@pytest.fixture(scope="session")
+def expanded_targets():
+    """The 70-complex expanded target set used by Fig 3."""
+    return expanded_pdz_set(n_targets=70, seed=PAPER_SEED)
+
+
+@pytest.fixture(scope="session")
+def contv_run(paper_targets):
+    """The CONT-V campaign of Table I (shared across benchmarks)."""
+    return run_campaign("cont-v", targets=paper_targets)
+
+
+@pytest.fixture(scope="session")
+def imrp_run(paper_targets):
+    """The IM-RP campaign of Table I (shared across benchmarks)."""
+    return run_campaign("im-rp", targets=paper_targets)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,59 @@
+"""Fig 4 — CONT-V total CPU/GPU resource utilization and execution time.
+
+Regenerates the control implementation's utilization profile on the
+simulated Amarel node (28 CPU cores, 4 GPUs): the paper reports ~18.3%
+average CPU utilization and ~1% GPU utilization, because CONT-V executes one
+task at a time and AlphaFold's CPU/I-O-bound feature phase leaves the GPUs
+idle for hours.
+
+The reproduction asserts the same structural facts: low average CPU
+utilization (well under half the node), much lower GPU than CPU-core
+occupancy in absolute device-hours, only one GPU ever used, and a makespan
+that equals the sum of the task durations (no overlap at all).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_banner, run_campaign
+from repro.analysis.makespan import makespan_report
+from repro.analysis.reporting import format_utilization_table
+from repro.analysis.utilization import utilization_report
+
+
+def _regenerate(paper_targets):
+    campaign, result = run_campaign("cont-v", targets=paper_targets)
+    profiler = campaign.platform.profiler
+    return (
+        utilization_report(profiler, approach="CONT-V"),
+        makespan_report(profiler, approach="CONT-V"),
+        result,
+    )
+
+
+def test_fig4_reproduction(benchmark, paper_targets):
+    report, makespan, result = benchmark.pedantic(
+        _regenerate, args=(paper_targets,), rounds=1, iterations=1
+    )
+
+    print_banner("Fig 4 — CONT-V CPU/GPU utilization and execution time")
+    print(format_utilization_table([report]))
+    print()
+    print(f"makespan        : {makespan.makespan_hours:8.1f} h")
+    print(f"total task time : {makespan.total_task_hours:8.1f} h")
+    print(f"tasks executed  : {makespan.n_tasks}")
+
+    # Low, CONT-V-like utilization: the node is mostly idle.
+    assert report.cpu_utilization < 0.35
+    assert report.gpu_utilization < 0.25
+    # The control run uses a single GPU (the sequential AlphaFold/MPNN chain).
+    assert len(report.per_gpu_busy_hours) == 1
+    # Sequential execution: wall-clock == sum of task durations, and the
+    # utilization timeline never exceeds the footprint of a single task.
+    assert makespan.makespan_hours == pytest.approx(makespan.total_task_hours, rel=1e-6)
+    assert max(report.cpu_timeline) <= 8 / 28 + 1e-6  # largest single-task core request
+    assert max(report.gpu_timeline) <= 1 / 4 + 1e-6
+    # No middleware phases exist in the control run.
+    assert makespan.phase_hours["bootstrap"] == 0.0
+    assert makespan.phase_hours["exec_setup"] == 0.0

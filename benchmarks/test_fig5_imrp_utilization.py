@@ -1,0 +1,65 @@
+"""Fig 5 — IM-RP total CPU/GPU utilization, execution time and phase breakdown.
+
+Regenerates the adaptive implementation's utilization profile on the same
+simulated node.  The paper reports ~88% CPU and ~61% GPU utilization for
+IM-RP — far above CONT-V — because the coordinator keeps many pipelines (and
+adaptively spawned sub-pipelines) in flight and the pilot agent backfills
+idle devices.  Fig 5 also breaks the time down into Bootstrap (RADICAL-Pilot
+startup), Exec setup (sandbox/launch-script creation) and Running.
+
+The reproduction asserts the shape: IM-RP multiplies CONT-V's CPU and GPU
+utilization, uses every GPU of the node, overlaps execution (makespan much
+smaller than total task time), and its phase breakdown is dominated by
+Running with small Bootstrap and Exec-setup contributions.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_banner, run_campaign
+from repro.analysis.makespan import makespan_report
+from repro.analysis.reporting import format_utilization_table
+from repro.analysis.utilization import utilization_report
+
+
+def _regenerate(paper_targets):
+    control_campaign, _ = run_campaign("cont-v", targets=paper_targets)
+    adaptive_campaign, result = run_campaign("im-rp", targets=paper_targets)
+    return (
+        utilization_report(control_campaign.platform.profiler, approach="CONT-V"),
+        utilization_report(adaptive_campaign.platform.profiler, approach="IM-RP"),
+        makespan_report(adaptive_campaign.platform.profiler, approach="IM-RP"),
+        result,
+    )
+
+
+def test_fig5_reproduction(benchmark, paper_targets):
+    control_report, adaptive_report, makespan, result = benchmark.pedantic(
+        _regenerate, args=(paper_targets,), rounds=1, iterations=1
+    )
+
+    print_banner("Fig 5 — IM-RP CPU/GPU utilization, execution time and phases")
+    print(format_utilization_table([control_report, adaptive_report]))
+    print()
+    print("Phase breakdown (IM-RP):")
+    for phase in ("bootstrap", "exec_setup", "running"):
+        print(f"  {phase:<11s}: {makespan.phase_hours.get(phase, 0.0):9.2f} h")
+    print(f"  makespan   : {makespan.makespan_hours:9.2f} h")
+    print(f"  task hours : {makespan.total_task_hours:9.2f} h")
+
+    # IM-RP dramatically improves utilization over CONT-V.  (The paper
+    # reports 18.3% -> 88% CPU and 1% -> 61% GPU; the discrete-event model
+    # reproduces the direction and a >2x / >1.5x gap, with the absolute gap
+    # limited by the long adaptive-retry tails — see EXPERIMENTS.md.)
+    assert adaptive_report.cpu_utilization > 2.0 * control_report.cpu_utilization
+    assert adaptive_report.gpu_utilization > 1.5 * control_report.gpu_utilization
+    assert adaptive_report.cpu_utilization > 0.30
+    assert adaptive_report.gpu_utilization > 0.18
+    # Every GPU of the node sees work.
+    assert len(adaptive_report.per_gpu_busy_hours) == 4
+    # Concurrency: the wall-clock span is far below the aggregate task time.
+    assert makespan.makespan_hours < 0.6 * makespan.total_task_hours
+    # Phase breakdown: running dominates, but both middleware phases exist.
+    assert makespan.phase_hours["running"] > makespan.phase_hours["bootstrap"]
+    assert makespan.phase_hours["running"] > makespan.phase_hours["exec_setup"]
+    assert makespan.phase_hours["bootstrap"] > 0
+    assert makespan.phase_hours["exec_setup"] > 0

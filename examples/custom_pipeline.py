@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Extending IMPRESS: a custom protocol with fixed catalytic residues.
+
+The paper's future-work section (Section V) describes generalising the
+pipeline to protease redesign: ProteinMPNN must *fix the catalytic residues*
+rather than redesign the whole interface, and predictions are made in
+monomeric form.  This example shows the two extension points the library
+exposes for that scenario:
+
+1. a custom :class:`MPNNConfig` with ``fixed_positions`` (the catalytic
+   triad) supplied to the campaign, and
+2. the population-based :class:`GeneticOptimizer` for users who want the
+   genetic-algorithm view directly, with a custom objective (here: pLDDT
+   only, the metric that matters for monomeric predictions).
+
+Usage::
+
+    python examples/custom_pipeline.py [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CampaignConfig, DesignCampaign, make_pdz_target
+from repro.analysis.reporting import format_iteration_table
+from repro.core.genetic import GeneticConfig, GeneticOptimizer
+from repro.protein.mpnn import MPNNConfig, SurrogateProteinMPNN
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    # A "protease-like" target: same machinery, but we declare three
+    # catalytic positions that must never be redesigned.
+    target = make_pdz_target("PROTEASE_LIKE", seed=args.seed)
+    catalytic = tuple(target.complex.designable_positions[:3])
+    print(f"target             : {target.name}")
+    print(f"catalytic residues : {catalytic} (kept fixed)")
+    print()
+
+    # --- Extension point 1: the campaign API with a constrained MPNN config.
+    config = CampaignConfig(
+        protocol="im-rp",
+        n_cycles=3,
+        n_sequences=8,
+        seed=args.seed,
+        mpnn_config=MPNNConfig(n_sequences=8, fixed_positions=catalytic),
+    )
+    result = DesignCampaign([target], config).run()
+    print(format_iteration_table(result, title="Constrained IM-RP campaign (catalytic residues fixed)"))
+
+    native = target.complex.receptor.sequence
+    final_designs = {t.sequence for t in result.trajectories if t.accepted}
+    preserved = all(
+        all(design[p] == native[p] for p in catalytic) for design in final_designs
+    )
+    print(f"catalytic residues preserved in every accepted design: {preserved}")
+    print()
+
+    # --- Extension point 2: the genetic-algorithm API with a custom objective.
+    optimizer = GeneticOptimizer(
+        target,
+        mpnn=SurrogateProteinMPNN(MPNNConfig(fixed_positions=catalytic), seed=args.seed),
+        config=GeneticConfig(population_size=8, offspring_per_parent=2, n_generations=4),
+        seed=args.seed,
+        objective=lambda metrics: metrics.plddt,  # monomeric-prediction proxy
+    )
+    best = optimizer.run()
+    print("GeneticOptimizer (objective = pLDDT only)")
+    print(f"  best pLDDT per generation : "
+          f"{[round(value, 1) for value in optimizer.best_per_generation()]}")
+    print(f"  best design pLDDT         : {best.metrics.plddt:.1f}")
+    print(f"  best design pTM           : {best.metrics.ptm:.3f}")
+    print(f"  catalytic residues intact : "
+          f"{all(best.sequence[p] == native[p] for p in catalytic)}")
+
+
+if __name__ == "__main__":
+    main()

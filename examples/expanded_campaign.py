@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's expanded experiment: many PDZ-peptide complexes (Fig 3).
+
+Runs the IM-RP workflow over a large set of synthetic PDZ-peptide complexes
+(70 at full scale, as in the paper) for four design cycles with adaptivity
+disabled in the final cycle, and prints the per-iteration medians of pLDDT,
+pTM and inter-chain pAE — the series of Fig 3, including the final-cycle
+deterioration that motivates the adaptive selection criterion.
+
+Usage::
+
+    python examples/expanded_campaign.py            # scaled down (20 targets)
+    python examples/expanded_campaign.py --full     # the paper-size 70 targets
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CampaignConfig, DesignCampaign, expanded_pdz_set
+from repro.analysis.reporting import format_iteration_table, iteration_series
+from repro.core.decision import SubPipelinePolicy
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run the paper-size 70 complexes")
+    parser.add_argument("--targets", type=int, default=20, help="target count when not --full")
+    parser.add_argument("--seed", type=int, default=2025)
+    args = parser.parse_args()
+
+    n_targets = 70 if args.full else args.targets
+    targets = expanded_pdz_set(n_targets=n_targets, seed=args.seed)
+    print(f"expanded target set: {n_targets} PDZ-peptide complexes")
+    print(f"peptide: {targets[0].peptide_sequence} (alpha-synuclein last four residues)")
+    print()
+
+    config = CampaignConfig(
+        protocol="im-rp",
+        n_cycles=4,
+        n_sequences=10,
+        seed=args.seed,
+        # The paper notes adaptivity was not enforced in the final design cycle.
+        adaptivity_schedule=(True, True, True, False),
+        spawn_policy=SubPipelinePolicy(quality_margin=0.03, max_per_pipeline=2),
+    )
+    result = DesignCampaign(targets, config).run()
+
+    print(format_iteration_table(result, title="Fig 3 series — expanded IM-RP workflow"))
+    print()
+    print(
+        f"pipelines={result.n_pipelines}  sub-pipelines={result.n_subpipelines}  "
+        f"trajectories={result.n_trajectories}"
+    )
+    print(
+        f"CPU {100 * result.cpu_utilization:.1f} %   GPU {100 * result.gpu_utilization:.1f} %   "
+        f"makespan {result.makespan_hours:.1f} h"
+    )
+    print()
+
+    series = iteration_series(result)
+    plddt = series["plddt"]["median"]
+    gain_adaptive = (plddt[3] - plddt[0]) / 3.0
+    gain_final = plddt[4] - plddt[3]
+    print(f"mean pLDDT gain per adaptive cycle : {gain_adaptive:+.2f}")
+    print(f"pLDDT change in non-adaptive cycle : {gain_final:+.2f}")
+    if gain_final < 0:
+        print("-> the final cycle deteriorates once the selection criterion is removed,")
+        print("   demonstrating the importance of adaptivity (paper, Section III-A).")
+
+
+if __name__ == "__main__":
+    main()

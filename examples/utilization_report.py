@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Resource-utilization report: the Figs 4 and 5 scenario.
+
+Runs the CONT-V and IM-RP campaigns on the same simulated Amarel node and
+prints their CPU/GPU utilization timelines, average utilization, makespans
+and the RADICAL-Pilot phase breakdown (Bootstrap / Exec setup / Running).
+
+Usage::
+
+    python examples/utilization_report.py [--cycles N] [--seed S]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CampaignConfig, DesignCampaign, named_pdz_targets
+from repro.analysis.makespan import makespan_report
+from repro.analysis.reporting import format_utilization_table
+from repro.analysis.utilization import utilization_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cycles", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2025)
+    args = parser.parse_args()
+
+    targets = named_pdz_targets(seed=args.seed)
+
+    reports = []
+    for protocol, label in (("cont-v", "CONT-V"), ("im-rp", "IM-RP")):
+        campaign = DesignCampaign(
+            targets,
+            CampaignConfig(protocol=protocol, n_cycles=args.cycles, seed=args.seed),
+        )
+        result = campaign.run()
+        profiler = campaign.platform.profiler
+        utilization = utilization_report(profiler, approach=label)
+        makespan = makespan_report(profiler, approach=label)
+        reports.append((label, result, utilization, makespan))
+
+    print("Figs 4 & 5 — utilization timelines (text rendering)")
+    print(format_utilization_table([report for _, _, report, _ in reports]))
+    print()
+
+    for label, result, utilization, makespan in reports:
+        print(f"{label}")
+        print(f"  trajectories     : {result.n_trajectories}")
+        print(f"  average CPU      : {utilization.cpu_percent:.1f} %")
+        print(f"  average GPU      : {utilization.gpu_percent:.1f} %")
+        print(f"  GPUs ever used   : {len(utilization.per_gpu_busy_hours)} of 4")
+        print(f"  makespan         : {makespan.makespan_hours:.1f} h")
+        print(f"  total task time  : {makespan.total_task_hours:.1f} h")
+        print("  phase breakdown:")
+        for phase in ("bootstrap", "exec_setup", "running"):
+            print(f"    {phase:<11s}: {makespan.phase_hours.get(phase, 0.0):9.2f} h")
+        print()
+
+
+if __name__ == "__main__":
+    main()

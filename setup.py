@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works on
+minimal offline environments where the ``wheel`` package (required by the
+PEP 660 editable-build path of older setuptools releases) is unavailable:
+without a ``[build-system]`` table pip falls back to the legacy
+``setup.py develop`` editable install, which has no such dependency.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Analysis layer: utilization, makespan and campaign comparison reports.
+
+Turns platform profiler traces and campaign results into the quantities the
+paper reports:
+
+* :mod:`repro.analysis.utilization` — CPU/GPU utilization percentages and
+  timelines (Table I columns, Figs 4 and 5).
+* :mod:`repro.analysis.makespan` — execution-time accounting and the
+  bootstrap / exec-setup / running phase breakdown (Fig 5 legend).
+* :mod:`repro.analysis.comparison` — CONT-V vs IM-RP head-to-head (Table I).
+* :mod:`repro.analysis.reporting` — plain-text tables and figure series used
+  by the examples and the benchmark harness.
+"""
+
+from repro.analysis.utilization import UtilizationReport, utilization_report
+from repro.analysis.makespan import MakespanReport, makespan_report
+from repro.analysis.comparison import table1, Table1Row
+from repro.analysis.reporting import (
+    format_iteration_table,
+    format_table1,
+    format_utilization_table,
+    iteration_series,
+)
+
+__all__ = [
+    "UtilizationReport",
+    "utilization_report",
+    "MakespanReport",
+    "makespan_report",
+    "table1",
+    "Table1Row",
+    "format_iteration_table",
+    "format_table1",
+    "format_utilization_table",
+    "iteration_series",
+]

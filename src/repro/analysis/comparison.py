@@ -1,0 +1,91 @@
+"""Table I: head-to-head comparison of CONT-V and IM-RP.
+
+:func:`table1` consumes the two campaign results and emits the rows of the
+paper's Table I — pipeline/sub-pipeline/structure/trajectory counts, CPU and
+GPU utilization percentages, execution time, and the three per-metric net
+deltas — plus the derived improvements quoted in the text (e.g. "+32.8%
+pLDDT net delta", higher consistency, more trajectories examined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.results import CampaignResult, compare_campaigns
+from repro.exceptions import CampaignError
+
+__all__ = ["Table1Row", "table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I."""
+
+    approach: str
+    n_pipelines: int
+    n_subpipelines: Optional[int]
+    structures_per_pipeline: float
+    trajectories: int
+    cpu_percent: float
+    gpu_percent: float
+    time_hours: float
+    ptm_net_delta_pct: float
+    plddt_net_delta_pct: float
+    pae_net_delta_pct: float
+
+    def as_dict(self) -> dict:
+        return {
+            "approach": self.approach,
+            "n_pipelines": self.n_pipelines,
+            "n_subpipelines": self.n_subpipelines,
+            "structures_per_pipeline": self.structures_per_pipeline,
+            "trajectories": self.trajectories,
+            "cpu_percent": self.cpu_percent,
+            "gpu_percent": self.gpu_percent,
+            "time_hours": self.time_hours,
+            "ptm_net_delta_pct": self.ptm_net_delta_pct,
+            "plddt_net_delta_pct": self.plddt_net_delta_pct,
+            "pae_net_delta_pct": self.pae_net_delta_pct,
+        }
+
+
+def _row(result: CampaignResult) -> Table1Row:
+    deltas = result.net_deltas()
+    return Table1Row(
+        approach=result.approach,
+        n_pipelines=result.n_pipelines,
+        n_subpipelines=result.n_subpipelines if result.approach == "IM-RP" else None,
+        structures_per_pipeline=result.structures_per_pipeline,
+        trajectories=result.n_trajectories,
+        cpu_percent=100.0 * result.cpu_utilization,
+        gpu_percent=100.0 * result.gpu_utilization,
+        time_hours=result.total_task_hours,
+        ptm_net_delta_pct=deltas["ptm"],
+        plddt_net_delta_pct=deltas["plddt"],
+        pae_net_delta_pct=deltas["interchain_pae"],
+    )
+
+
+def table1(control: CampaignResult, adaptive: CampaignResult) -> Dict[str, object]:
+    """Build the Table I comparison from the two campaign results.
+
+    Returns a dictionary with ``rows`` (list of :class:`Table1Row`, control
+    first), the ``advantages`` summary from
+    :func:`repro.core.results.compare_campaigns`, and convenience booleans
+    asserting the paper's qualitative claims (used by the benchmark harness
+    and the integration tests).
+    """
+    if control.approach == adaptive.approach:
+        raise CampaignError("table1 expects one control and one adaptive result")
+    rows: List[Table1Row] = [_row(control), _row(adaptive)]
+    advantages = compare_campaigns(control, adaptive)
+    claims = {
+        "adaptive_has_more_trajectories": adaptive.n_trajectories > control.n_trajectories,
+        "adaptive_has_higher_cpu_utilization": adaptive.cpu_utilization > control.cpu_utilization,
+        "adaptive_has_higher_gpu_utilization": adaptive.gpu_utilization > control.gpu_utilization,
+        "adaptive_has_higher_plddt_gain": rows[1].plddt_net_delta_pct >= rows[0].plddt_net_delta_pct,
+        "adaptive_has_higher_ptm_gain": rows[1].ptm_net_delta_pct >= rows[0].ptm_net_delta_pct,
+        "adaptive_takes_longer_aggregate_time": rows[1].time_hours >= rows[0].time_hours,
+    }
+    return {"rows": rows, "advantages": advantages, "claims": claims}

@@ -1,0 +1,108 @@
+"""Plain-text tables and figure series.
+
+The examples and the benchmark harness print their results as fixed-width
+text tables so that a run's output can be compared line-by-line with the
+paper's tables and figure captions without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.comparison import Table1Row
+from repro.analysis.utilization import UtilizationReport
+from repro.core.results import CampaignResult
+
+__all__ = [
+    "iteration_series",
+    "format_iteration_table",
+    "format_table1",
+    "format_utilization_table",
+]
+
+
+def iteration_series(result: CampaignResult) -> Dict[str, Dict[str, List[float]]]:
+    """Figure-ready series: per metric, the median and half-std per iteration.
+
+    Returns ``{metric: {"iterations": [...], "median": [...], "half_std": [...]}}``
+    — exactly the bars and error bars of Figs 2 and 3.
+    """
+    summary = result.iteration_summary()
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for metric in ("plddt", "ptm", "interchain_pae"):
+        iterations = sorted(summary)
+        series[metric] = {
+            "iterations": [float(i) for i in iterations],
+            "median": [summary[i][metric]["median"] for i in iterations],
+            "half_std": [summary[i][metric]["half_std"] for i in iterations],
+        }
+    return series
+
+
+def format_iteration_table(result: CampaignResult, title: str = "") -> str:
+    """Fixed-width per-iteration metric table for one campaign."""
+    summary = result.iteration_summary()
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'iter':>4} | {'pLDDT med':>9} {'±σ/2':>6} | "
+        f"{'pTM med':>7} {'±σ/2':>6} | {'ipAE med':>8} {'±σ/2':>6} | {'n':>3}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for iteration in sorted(summary):
+        row = summary[iteration]
+        lines.append(
+            f"{iteration:>4} | "
+            f"{row['plddt']['median']:>9.2f} {row['plddt']['half_std']:>6.2f} | "
+            f"{row['ptm']['median']:>7.3f} {row['ptm']['half_std']:>6.3f} | "
+            f"{row['interchain_pae']['median']:>8.2f} {row['interchain_pae']['half_std']:>6.2f} | "
+            f"{row['plddt']['count']:>3d}"
+        )
+    return "\n".join(lines)
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Fixed-width rendering of Table I rows."""
+    header = (
+        f"{'Approach':<8} | {'#PL':>4} | {'#SubPL':>6} | {'Str/PL':>6} | {'Traj':>5} | "
+        f"{'CPU %':>6} | {'GPU %':>6} | {'Time (h)':>8} | "
+        f"{'pTM Δ%':>7} | {'pLDDT Δ%':>8} | {'pAE Δ%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        sub = f"{row.n_subpipelines:>6}" if row.n_subpipelines is not None else f"{'N/A':>6}"
+        lines.append(
+            f"{row.approach:<8} | {row.n_pipelines:>4} | {sub} | "
+            f"{row.structures_per_pipeline:>6.1f} | {row.trajectories:>5} | "
+            f"{row.cpu_percent:>6.1f} | {row.gpu_percent:>6.1f} | {row.time_hours:>8.1f} | "
+            f"{row.ptm_net_delta_pct:>7.1f} | {row.plddt_net_delta_pct:>8.1f} | "
+            f"{row.pae_net_delta_pct:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_utilization_table(
+    reports: Iterable[UtilizationReport], n_points: int = 12
+) -> str:
+    """Fixed-width utilization timelines (text rendering of Figs 4 and 5)."""
+    lines: List[str] = []
+    for report in reports:
+        lines.append(
+            f"{report.approach}: CPU {report.cpu_percent:.1f}%  "
+            f"GPU {report.gpu_percent:.1f}%  makespan {report.makespan_hours:.1f} h"
+        )
+        total = len(report.timeline_hours)
+        if total == 0:
+            continue
+        step = max(1, total // n_points)
+        lines.append(f"{'t (h)':>8} | {'CPU %':>6} | {'GPU %':>6}")
+        for index in range(0, total, step):
+            lines.append(
+                f"{report.timeline_hours[index]:>8.2f} | "
+                f"{100.0 * report.cpu_timeline[index]:>6.1f} | "
+                f"{100.0 * report.gpu_timeline[index]:>6.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,303 @@
+"""The IMPRESS pipelines coordinator (the IM-RP execution path).
+
+The coordinator is the component marked 1/3/6/7 in the paper's Fig 1: it
+
+* constructs pipelines (one per starting structure, as in the paper's
+  implementation section),
+* submits their tasks concurrently to the pilot runtime and monitors their
+  states through the completed-task channel,
+* maintains a global view of every pipeline's latest design quality, and
+* performs the decision-making step after every completed cycle, dynamically
+  generating sub-pipelines for designs that need further refinement or
+  re-exploration and offloading them onto idle resources.
+
+Everything is event-driven: the coordinator reacts to task-completion
+callbacks from the task manager, so any number of pipelines make progress
+concurrently within the simulated platform's event loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.decision import SubPipelinePolicy, SubPipelineSpec
+from repro.core.pipeline import Pipeline, PipelineConfig, PipelineStatus
+from repro.core.results import PipelineRecord
+from repro.core.stages import StageFactory
+from repro.core.trajectory import CycleResult
+from repro.exceptions import CoordinatorError
+from repro.protein.datasets import DesignTarget
+from repro.protein.metrics import composite_score
+from repro.runtime.queues import Channel
+from repro.runtime.session import Session
+from repro.runtime.states import TaskState
+from repro.runtime.task import Task
+
+__all__ = ["CoordinatorConfig", "PipelinesCoordinator"]
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Coordinator-level knobs.
+
+    Attributes
+    ----------
+    pipeline:
+        Default configuration applied to every root pipeline.
+    spawn_policy:
+        When and how to generate sub-pipelines.
+    max_in_flight_pipelines:
+        Optional cap on concurrently executing *root* pipelines; additional
+        root pipelines wait in the submission channel until a slot frees up.
+        Sub-pipelines always start immediately (they are the mechanism that
+        soaks up idle resources).
+    """
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    spawn_policy: SubPipelinePolicy = field(default_factory=SubPipelinePolicy)
+    max_in_flight_pipelines: Optional[int] = None
+
+
+class PipelinesCoordinator:
+    """Coordinates concurrent, adaptive pipelines on a pilot session."""
+
+    def __init__(
+        self,
+        session: Session,
+        factory: StageFactory,
+        config: Optional[CoordinatorConfig] = None,
+    ) -> None:
+        self._session = session
+        self._factory = factory
+        self._config = config or CoordinatorConfig()
+
+        self._pipelines: Dict[str, Pipeline] = {}
+        self._root_of: Dict[str, str] = {}
+        self._spawned_per_root: Dict[str, int] = {}
+        self._total_spawned = 0
+        self._uid_counter = itertools.count(1)
+        self._sub_uid_counter = itertools.count(1)
+
+        #: Channel 1 of the paper: new pipeline instances awaiting submission.
+        self.submission_channel: Channel[Pipeline] = Channel("pipeline-submissions")
+        #: Channel 2 of the paper: completed tasks flowing back from the runtime.
+        self.completed_channel: Channel[Task] = self._session.task_manager.completed_channel
+
+        self._in_flight_roots = 0
+        self._session.task_manager.register_callback(self._on_task_state)
+
+    # -- pipeline construction --------------------------------------------------- #
+
+    @property
+    def config(self) -> CoordinatorConfig:
+        return self._config
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    def pipelines(self) -> List[Pipeline]:
+        return list(self._pipelines.values())
+
+    @property
+    def n_subpipelines(self) -> int:
+        return self._total_spawned
+
+    def add_target(
+        self, target: DesignTarget, config: Optional[PipelineConfig] = None
+    ) -> Pipeline:
+        """Create a root pipeline for ``target`` and queue it for submission."""
+        uid = f"pipeline.{next(self._uid_counter):04d}.{target.name}"
+        pipeline = Pipeline(
+            uid=uid,
+            target=target,
+            factory=self._factory,
+            config=config or self._config.pipeline,
+        )
+        self._pipelines[uid] = pipeline
+        self._root_of[uid] = uid
+        self.submission_channel.put(pipeline)
+        return pipeline
+
+    def add_targets(
+        self, targets: List[DesignTarget], config: Optional[PipelineConfig] = None
+    ) -> List[Pipeline]:
+        """Convenience wrapper adding several targets at once."""
+        return [self.add_target(target, config) for target in targets]
+
+    # -- execution ------------------------------------------------------------------ #
+
+    def run(self) -> List[PipelineRecord]:
+        """Execute every queued pipeline to completion and return records."""
+        if not self.submission_channel:
+            raise CoordinatorError("no pipelines were added to the coordinator")
+        self._launch_pending_roots()
+        # Drive the simulation until no further events are pending.  Task
+        # completion callbacks keep feeding new tasks in, so a drained loop
+        # means every pipeline has finished (or failed).
+        self._session.platform.run()
+        unfinished = [
+            pipeline.uid
+            for pipeline in self._pipelines.values()
+            if not pipeline.is_finished and pipeline.status is not PipelineStatus.PENDING
+        ]
+        if unfinished:
+            raise CoordinatorError(
+                f"simulation drained with unfinished pipelines: {unfinished}"
+            )
+        # Pending root pipelines can remain only if the in-flight cap was never
+        # released, which would be a coordinator bug.
+        still_pending = [
+            pipeline.uid
+            for pipeline in self._pipelines.values()
+            if pipeline.status is PipelineStatus.PENDING
+        ]
+        if still_pending:
+            raise CoordinatorError(
+                f"pipelines never launched: {still_pending}"
+            )
+        return self.records()
+
+    def _launch_pending_roots(self) -> None:
+        limit = self._config.max_in_flight_pipelines
+        while self.submission_channel:
+            if limit is not None and self._in_flight_roots >= limit:
+                break
+            pipeline = self.submission_channel.get()
+            assert pipeline is not None
+            self._submit_pipeline(pipeline)
+            if not pipeline.is_subpipeline:
+                self._in_flight_roots += 1
+
+    def _submit_pipeline(self, pipeline: Pipeline) -> None:
+        tasks = pipeline.start()
+        self._session.task_manager.submit_tasks(tasks)
+        self._session.platform.log(
+            "coordinator",
+            "pipeline_submitted",
+            uid=pipeline.uid,
+            target=pipeline.target.name,
+            subpipeline=pipeline.is_subpipeline,
+        )
+
+    # -- task routing ------------------------------------------------------------------ #
+
+    def _on_task_state(self, task: Task, state: TaskState) -> None:
+        pipeline_uid = task.metadata.get("pipeline_uid")
+        pipeline = self._pipelines.get(pipeline_uid)
+        if pipeline is None:
+            # Tasks not created by this coordinator (e.g. user tasks on the
+            # same session) are ignored.
+            return
+        if pipeline.is_finished:
+            return
+        step = pipeline.advance(task)
+        if step.new_tasks:
+            self._session.task_manager.submit_tasks(step.new_tasks)
+        if step.completed_cycle is not None:
+            self._decision_step(pipeline, step.completed_cycle)
+        if step.pipeline_finished:
+            self._on_pipeline_finished(pipeline)
+
+    def _on_pipeline_finished(self, pipeline: Pipeline) -> None:
+        self._session.platform.log(
+            "coordinator",
+            "pipeline_finished",
+            uid=pipeline.uid,
+            status=pipeline.status.value,
+            trajectories=pipeline.n_trajectories,
+        )
+        if not pipeline.is_subpipeline and self._in_flight_roots > 0:
+            self._in_flight_roots -= 1
+        self._launch_pending_roots()
+
+    # -- the decision-making step --------------------------------------------------------- #
+
+    def _cohort_composites(self) -> Dict[str, float]:
+        """Latest composite score of every pipeline that has one."""
+        composites: Dict[str, float] = {}
+        for uid, pipeline in self._pipelines.items():
+            metrics = pipeline.latest_metrics
+            if metrics is not None:
+                composites[uid] = composite_score(metrics)
+        return composites
+
+    def _decision_step(self, pipeline: Pipeline, cycle_result: CycleResult) -> None:
+        """Global decision-making after one completed cycle (paper step 6/7)."""
+        root_uid = self._root_of[pipeline.uid]
+        policy = self._config.spawn_policy
+        cohort = self._cohort_composites()
+        spec = policy.should_spawn(
+            pipeline_uid=pipeline.uid,
+            target_name=pipeline.target.name,
+            latest_metrics=cycle_result.best_metrics,
+            cycle_accepted=cycle_result.accepted,
+            cohort_median_composite=SubPipelinePolicy.cohort_median(cohort),
+            spawned_for_pipeline=self._spawned_per_root.get(root_uid, 0),
+            spawned_total=self._total_spawned,
+        )
+        if spec is None:
+            return
+        self._spawn_subpipeline(pipeline, spec, root_uid)
+
+    def _spawn_subpipeline(
+        self, parent: Pipeline, spec: SubPipelineSpec, root_uid: str
+    ) -> Pipeline:
+        uid = f"{parent.uid}.sub{next(self._sub_uid_counter):03d}"
+        base = self._config.pipeline
+        sub_config = PipelineConfig(
+            n_cycles=spec.n_cycles,
+            n_sequences=base.n_sequences,
+            max_retries=base.max_retries,
+            adaptive=base.adaptive,
+            random_selection=base.random_selection,
+            acceptance=base.acceptance,
+            selection_seed=base.selection_seed,
+        )
+        starting_complex = (
+            parent.current_complex if spec.start_from_best else parent.target.complex
+        )
+        subpipeline = Pipeline(
+            uid=uid,
+            target=parent.target,
+            factory=self._factory,
+            config=sub_config,
+            parent_uid=parent.uid,
+            starting_complex=starting_complex,
+            starting_metrics=parent.latest_metrics,
+        )
+        self._pipelines[uid] = subpipeline
+        self._root_of[uid] = root_uid
+        self._spawned_per_root[root_uid] = self._spawned_per_root.get(root_uid, 0) + 1
+        self._total_spawned += 1
+        self._session.platform.log(
+            "coordinator",
+            "subpipeline_spawned",
+            uid=uid,
+            parent=parent.uid,
+            reason=spec.reason,
+        )
+        # Sub-pipelines start immediately: they exist to exploit idle resources.
+        self._submit_pipeline(subpipeline)
+        return subpipeline
+
+    # -- results ----------------------------------------------------------------------------- #
+
+    def records(self) -> List[PipelineRecord]:
+        """Per-pipeline records for the campaign result."""
+        records: List[PipelineRecord] = []
+        for pipeline in self._pipelines.values():
+            records.append(
+                PipelineRecord(
+                    uid=pipeline.uid,
+                    target=pipeline.target.name,
+                    parent_uid=pipeline.parent_uid,
+                    status=pipeline.status,
+                    cycles=pipeline.cycle_results,
+                    trajectories=pipeline.trajectories,
+                )
+            )
+        return records

@@ -1,0 +1,257 @@
+"""Execution tracing and utilization accounting.
+
+The profiler records, for every executed task, which devices it occupied and
+for how long, plus the per-task phase breakdown RADICAL-Pilot reports
+(bootstrap, exec setup, running).  The analysis layer turns these traces into
+the CPU/GPU utilization percentages of Table I and the timelines of
+Figs 4 and 5.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.hpc.resources import PlatformSpec
+
+__all__ = ["ResourceInterval", "PhaseInterval", "ExecutionProfiler"]
+
+
+@dataclass(frozen=True)
+class ResourceInterval:
+    """Devices occupied by one task over ``[start, end)``."""
+
+    task_id: str
+    node: str
+    cpu_core_ids: Tuple[int, ...]
+    gpu_ids: Tuple[int, ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"interval for task {self.task_id!r} ends before it starts "
+                f"({self.start} > {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def core_seconds(self) -> float:
+        return self.duration * len(self.cpu_core_ids)
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.duration * len(self.gpu_ids)
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """One phase (bootstrap / exec_setup / running / ...) of a task or pilot."""
+
+    entity_id: str
+    phase: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(
+                f"phase {self.phase!r} of {self.entity_id!r} ends before it starts"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionProfiler:
+    """Collects resource and phase intervals during a simulated run."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self._platform = platform
+        self._resource_intervals: List[ResourceInterval] = []
+        self._phase_intervals: List[PhaseInterval] = []
+
+    @property
+    def platform(self) -> PlatformSpec:
+        return self._platform
+
+    @property
+    def resource_intervals(self) -> List[ResourceInterval]:
+        return list(self._resource_intervals)
+
+    @property
+    def phase_intervals(self) -> List[PhaseInterval]:
+        return list(self._phase_intervals)
+
+    def record_resource_interval(self, interval: ResourceInterval) -> None:
+        """Record that a task occupied devices over an interval."""
+        self._resource_intervals.append(interval)
+
+    def record_phase(self, entity_id: str, phase: str, start: float, end: float) -> None:
+        """Record one phase interval for a task or pilot."""
+        self._phase_intervals.append(
+            PhaseInterval(entity_id=entity_id, phase=phase, start=start, end=end)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregate accounting
+    # ------------------------------------------------------------------ #
+
+    def span(self) -> Tuple[float, float]:
+        """``(first_start, last_end)`` over all resource intervals.
+
+        Raises
+        ------
+        SimulationError
+            If nothing was recorded.
+        """
+        if not self._resource_intervals:
+            raise SimulationError("no resource intervals recorded")
+        start = min(interval.start for interval in self._resource_intervals)
+        end = max(interval.end for interval in self._resource_intervals)
+        return start, end
+
+    def makespan(self) -> float:
+        """Wall-clock span covered by recorded execution."""
+        start, end = self.span()
+        return end - start
+
+    def busy_core_seconds(self) -> float:
+        return sum(interval.core_seconds for interval in self._resource_intervals)
+
+    def busy_gpu_seconds(self) -> float:
+        return sum(interval.gpu_seconds for interval in self._resource_intervals)
+
+    def cpu_utilization(self, window: Optional[Tuple[float, float]] = None) -> float:
+        """Average CPU utilization fraction over ``window`` (default: full span)."""
+        return self._utilization(kind="cpu", window=window)
+
+    def gpu_utilization(self, window: Optional[Tuple[float, float]] = None) -> float:
+        """Average GPU utilization fraction over ``window`` (default: full span)."""
+        return self._utilization(kind="gpu", window=window)
+
+    def _utilization(self, kind: str, window: Optional[Tuple[float, float]]) -> float:
+        if window is None:
+            window = self.span()
+        start, end = window
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        busy = 0.0
+        for interval in self._resource_intervals:
+            overlap = min(interval.end, end) - max(interval.start, start)
+            if overlap <= 0:
+                continue
+            if kind == "cpu":
+                busy += overlap * len(interval.cpu_core_ids)
+            elif kind == "gpu":
+                busy += overlap * len(interval.gpu_ids)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown resource kind {kind!r}")
+        total = (
+            self._platform.total_cpu_cores if kind == "cpu" else self._platform.total_gpus
+        )
+        if total == 0:
+            return 0.0
+        return busy / (duration * total)
+
+    # ------------------------------------------------------------------ #
+    # Timelines (figure series)
+    # ------------------------------------------------------------------ #
+
+    def utilization_timeline(
+        self,
+        kind: str = "cpu",
+        n_bins: int = 100,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Binned utilization fraction over time.
+
+        Returns ``(bin_centers, utilization)`` arrays of length ``n_bins``;
+        this is the series plotted in Figs 4 and 5 (as a percentage).
+        """
+        if n_bins < 1:
+            raise SimulationError("n_bins must be >= 1")
+        if window is None:
+            window = self.span()
+        start, end = window
+        if end <= start:
+            raise SimulationError("empty profiling window")
+        edges = np.linspace(start, end, n_bins + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        busy = np.zeros(n_bins, dtype=float)
+        total = (
+            self._platform.total_cpu_cores if kind == "cpu" else self._platform.total_gpus
+        )
+        if total == 0:
+            return centers, busy
+        for interval in self._resource_intervals:
+            weight = (
+                len(interval.cpu_core_ids) if kind == "cpu" else len(interval.gpu_ids)
+            )
+            if weight == 0:
+                continue
+            lo = max(interval.start, start)
+            hi = min(interval.end, end)
+            if hi <= lo:
+                continue
+            first = max(0, bisect_right(edges, lo) - 1)
+            last = max(0, bisect_right(edges, hi) - 1)
+            last = min(last, n_bins - 1)
+            for b in range(first, last + 1):
+                overlap = min(hi, edges[b + 1]) - max(lo, edges[b])
+                if overlap > 0:
+                    busy[b] += overlap * weight
+        widths = np.diff(edges)
+        return centers, busy / (widths * total)
+
+    def device_busy_seconds(self, kind: str = "gpu") -> Dict[Tuple[str, int], float]:
+        """Busy seconds per (node, device index)."""
+        result: Dict[Tuple[str, int], float] = {}
+        for interval in self._resource_intervals:
+            ids: Sequence[int]
+            ids = interval.cpu_core_ids if kind == "cpu" else interval.gpu_ids
+            for device in ids:
+                key = (interval.node, device)
+                result[key] = result.get(key, 0.0) + interval.duration
+        return result
+
+    def phase_totals(self, phases: Optional[Iterable[str]] = None) -> Dict[str, float]:
+        """Total seconds spent in each phase across all entities."""
+        totals: Dict[str, float] = {}
+        for interval in self._phase_intervals:
+            totals[interval.phase] = totals.get(interval.phase, 0.0) + interval.duration
+        if phases is not None:
+            return {phase: totals.get(phase, 0.0) for phase in phases}
+        return totals
+
+    def concurrency_timeline(
+        self, n_bins: int = 100, window: Optional[Tuple[float, float]] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Number of concurrently running tasks over time (binned average)."""
+        if window is None:
+            window = self.span()
+        start, end = window
+        edges = np.linspace(start, end, n_bins + 1)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        running = np.zeros(n_bins, dtype=float)
+        for interval in self._resource_intervals:
+            lo = max(interval.start, start)
+            hi = min(interval.end, end)
+            if hi <= lo:
+                continue
+            for b in range(n_bins):
+                overlap = min(hi, edges[b + 1]) - max(lo, edges[b])
+                if overlap > 0:
+                    running[b] += overlap
+        widths = np.diff(edges)
+        return centers, running / widths

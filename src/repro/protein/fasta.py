@@ -1,0 +1,112 @@
+"""FASTA formatting, parsing and file I/O.
+
+Stage 3 of the IMPRESS pipeline compiles the highest-ranking sequences into a
+FASTA file that is the input of the AlphaFold stage.  This module provides
+round-trip-safe FASTA support for :class:`~repro.protein.sequence.ProteinSequence`
+objects, including the multi-chain "/"-joined record convention used for
+complex prediction inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.exceptions import SequenceError
+from repro.protein.sequence import ProteinSequence
+
+__all__ = ["format_fasta", "parse_fasta", "write_fasta", "read_fasta", "complex_record"]
+
+_LINE_WIDTH = 60
+
+
+def format_fasta(sequences: Sequence[ProteinSequence]) -> str:
+    """Render sequences as FASTA text.
+
+    Record headers are ``>{name}|{chain_id}``; names default to
+    ``chain_{chain_id}`` when empty so the output always round-trips.
+    """
+    lines: List[str] = []
+    for sequence in sequences:
+        name = sequence.name or f"chain_{sequence.chain_id}"
+        lines.append(f">{name}|{sequence.chain_id}")
+        residues = sequence.residues
+        for start in range(0, len(residues), _LINE_WIDTH):
+            lines.append(residues[start:start + _LINE_WIDTH])
+    return "\n".join(lines) + "\n"
+
+
+def parse_fasta(text: str) -> List[ProteinSequence]:
+    """Parse FASTA text produced by :func:`format_fasta` (or plain FASTA).
+
+    Headers without the ``|chain`` suffix get chain ids assigned in order
+    (``A``, ``B``, ``C``...).
+
+    Raises
+    ------
+    SequenceError
+        On malformed input (sequence data before any header, empty records).
+    """
+    sequences: List[ProteinSequence] = []
+    name: str | None = None
+    chain: str | None = None
+    chunks: List[str] = []
+    auto_chain = iter("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+
+    def flush() -> None:
+        nonlocal name, chain, chunks
+        if name is None:
+            return
+        residues = "".join(chunks)
+        if not residues:
+            raise SequenceError(f"FASTA record {name!r} has no residues")
+        sequences.append(
+            ProteinSequence(residues=residues, chain_id=chain or next(auto_chain), name=name)
+        )
+        name, chain, chunks = None, None, []
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            header = line[1:].strip()
+            if "|" in header:
+                name, chain = header.rsplit("|", 1)
+                name = name.strip()
+                chain = chain.strip() or None
+            else:
+                name, chain = header, None
+        else:
+            if name is None:
+                raise SequenceError("FASTA sequence data before any header line")
+            chunks.append(line)
+    flush()
+    return sequences
+
+
+def write_fasta(sequences: Sequence[ProteinSequence], path: Union[str, Path]) -> Path:
+    """Write sequences to a FASTA file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_fasta(sequences))
+    return path
+
+
+def read_fasta(path: Union[str, Path]) -> List[ProteinSequence]:
+    """Read a FASTA file written by :func:`write_fasta` (or plain FASTA)."""
+    return parse_fasta(Path(path).read_text())
+
+
+def complex_record(
+    receptor: ProteinSequence, peptide: ProteinSequence, name: str = ""
+) -> Tuple[str, Dict[str, str]]:
+    """Build the AlphaFold-Multimer style record for a two-chain complex.
+
+    Returns the record name and a mapping ``{chain_id: residues}`` — the
+    structure-prediction surrogate consumes this instead of a file, but the
+    format mirrors what a real AlphaFold input bundle would contain.
+    """
+    label = name or f"{receptor.name or 'receptor'}__{peptide.name or 'peptide'}"
+    return label, {receptor.chain_id: receptor.residues, peptide.chain_id: peptide.residues}

@@ -1,0 +1,129 @@
+"""Minimal PDB-format I/O for CA-only models.
+
+Writes and reads the subset of the PDB format the reproduction needs: one
+``ATOM`` record per residue (the CA atom), ``TER`` records between chains,
+and a ``HEADER``/``REMARK`` block carrying the complex name and backbone
+quality so round-trips preserve them.  Not a general PDB parser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import StructureError
+from repro.protein.sequence import ProteinSequence
+from repro.protein.structure import Chain, ComplexStructure
+
+__all__ = ["write_pdb", "read_pdb", "format_pdb", "parse_pdb"]
+
+#: Three-letter residue codes used in ATOM records.
+_THREE_LETTER: Dict[str, str] = {
+    "A": "ALA", "C": "CYS", "D": "ASP", "E": "GLU", "F": "PHE",
+    "G": "GLY", "H": "HIS", "I": "ILE", "K": "LYS", "L": "LEU",
+    "M": "MET", "N": "ASN", "P": "PRO", "Q": "GLN", "R": "ARG",
+    "S": "SER", "T": "THR", "V": "VAL", "W": "TRP", "Y": "TYR",
+}
+_ONE_LETTER = {three: one for one, three in _THREE_LETTER.items()}
+
+
+def format_pdb(complex_structure: ComplexStructure) -> str:
+    """Render a complex as CA-only PDB text."""
+    lines: List[str] = []
+    lines.append(f"HEADER    DESIGNED COMPLEX               {complex_structure.name[:40]:<40}")
+    lines.append(f"REMARK 250 BACKBONE_QUALITY {complex_structure.backbone_quality:.6f}")
+    serial = 1
+    for chain in complex_structure.chains():
+        for index, (residue, xyz) in enumerate(
+            zip(chain.sequence.residues, chain.coordinates), start=1
+        ):
+            three = _THREE_LETTER[residue]
+            x, y, z = (float(value) for value in xyz)
+            lines.append(
+                f"ATOM  {serial:5d}  CA  {three} {chain.chain_id}{index:4d}    "
+                f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00           C"
+            )
+            serial += 1
+        lines.append(f"TER   {serial:5d}      {_THREE_LETTER[chain.sequence.residues[-1]]} "
+                     f"{chain.chain_id}{len(chain):4d}")
+        serial += 1
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def parse_pdb(text: str, name: str = "") -> ComplexStructure:
+    """Parse CA-only PDB text written by :func:`format_pdb`.
+
+    The first chain encountered becomes the receptor, the second the peptide.
+
+    Raises
+    ------
+    StructureError
+        If fewer than two chains are present or records are malformed.
+    """
+    backbone_quality = 0.3
+    header_name = name
+    chain_residues: Dict[str, List[str]] = {}
+    chain_coords: Dict[str, List[List[float]]] = {}
+    chain_order: List[str] = []
+
+    for line in text.splitlines():
+        if line.startswith("HEADER") and not header_name:
+            header_name = line[47:].strip() or line[10:].strip()
+        elif line.startswith("REMARK 250 BACKBONE_QUALITY"):
+            try:
+                backbone_quality = float(line.split()[-1])
+            except ValueError as exc:
+                raise StructureError(f"malformed backbone-quality remark: {line!r}") from exc
+        elif line.startswith("ATOM"):
+            atom_name = line[12:16].strip()
+            if atom_name != "CA":
+                continue
+            three = line[17:20].strip()
+            if three not in _ONE_LETTER:
+                raise StructureError(f"unknown residue code {three!r} in PDB")
+            chain_id = line[21].strip() or "A"
+            try:
+                x = float(line[30:38])
+                y = float(line[38:46])
+                z = float(line[46:54])
+            except ValueError as exc:
+                raise StructureError(f"malformed ATOM coordinates: {line!r}") from exc
+            if chain_id not in chain_residues:
+                chain_residues[chain_id] = []
+                chain_coords[chain_id] = []
+                chain_order.append(chain_id)
+            chain_residues[chain_id].append(_ONE_LETTER[three])
+            chain_coords[chain_id].append([x, y, z])
+
+    if len(chain_order) < 2:
+        raise StructureError(
+            f"expected two chains in PDB, found {len(chain_order)}"
+        )
+
+    chains: List[Chain] = []
+    for chain_id in chain_order[:2]:
+        sequence = ProteinSequence(
+            residues="".join(chain_residues[chain_id]), chain_id=chain_id
+        )
+        chains.append(Chain(sequence=sequence, coordinates=chain_coords[chain_id]))
+
+    return ComplexStructure(
+        name=header_name or "parsed_complex",
+        receptor=chains[0],
+        peptide=chains[1],
+        backbone_quality=backbone_quality,
+    )
+
+
+def write_pdb(complex_structure: ComplexStructure, path: Union[str, Path]) -> Path:
+    """Write a complex to a PDB file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_pdb(complex_structure))
+    return path
+
+
+def read_pdb(path: Union[str, Path], name: str = "") -> ComplexStructure:
+    """Read a complex from a PDB file written by :func:`write_pdb`."""
+    return parse_pdb(Path(path).read_text(), name=name)

@@ -1,0 +1,160 @@
+"""Protein sequences and scored sequences.
+
+:class:`ProteinSequence` is an immutable value object (chain id + residue
+string) with the small set of operations the protocol needs: validation,
+point substitution, Hamming distance and identity.  :class:`ScoredSequence`
+pairs a sequence with the surrogate ProteinMPNN log-likelihood used by the
+ranking stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SequenceError
+from repro.protein.alphabet import AA_TO_INDEX, AMINO_ACIDS, is_valid_sequence
+
+__all__ = ["ProteinSequence", "ScoredSequence"]
+
+
+@dataclass(frozen=True)
+class ProteinSequence:
+    """An immutable amino-acid sequence belonging to one chain.
+
+    Attributes
+    ----------
+    residues:
+        One-letter amino-acid string.
+    chain_id:
+        Chain identifier within its complex (``"A"`` for the receptor,
+        ``"B"`` for the peptide by convention in this package).
+    name:
+        Optional human-readable label (e.g. ``"NHERF3_design_003"``).
+    """
+
+    residues: str
+    chain_id: str = "A"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not is_valid_sequence(self.residues):
+            raise SequenceError(
+                f"invalid residues in sequence {self.name or self.chain_id!r}: "
+                f"{self.residues!r}"
+            )
+        if not self.chain_id:
+            raise SequenceError("chain_id must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    def __iter__(self):
+        return iter(self.residues)
+
+    def __getitem__(self, index: int) -> str:
+        return self.residues[index]
+
+    # -- operations ---------------------------------------------------------- #
+
+    def with_substitution(self, position: int, residue: str) -> "ProteinSequence":
+        """Return a copy with ``position`` replaced by ``residue``.
+
+        Raises
+        ------
+        SequenceError
+            If the position is out of range or the residue is not canonical.
+        """
+        if not 0 <= position < len(self.residues):
+            raise SequenceError(
+                f"position {position} out of range for length {len(self.residues)}"
+            )
+        if residue not in AA_TO_INDEX:
+            raise SequenceError(f"invalid residue {residue!r}")
+        residues = self.residues[:position] + residue + self.residues[position + 1:]
+        return ProteinSequence(residues=residues, chain_id=self.chain_id, name=self.name)
+
+    def with_substitutions(
+        self, substitutions: Dict[int, str] | Iterable[Tuple[int, str]]
+    ) -> "ProteinSequence":
+        """Apply several substitutions at once (later entries win on conflict)."""
+        if isinstance(substitutions, dict):
+            items = substitutions.items()
+        else:
+            items = substitutions
+        seq = self
+        for position, residue in items:
+            seq = seq.with_substitution(position, residue)
+        return seq
+
+    def hamming_distance(self, other: "ProteinSequence") -> int:
+        """Number of positions at which two equal-length sequences differ."""
+        if len(self) != len(other):
+            raise SequenceError(
+                f"cannot compare sequences of lengths {len(self)} and {len(other)}"
+            )
+        return sum(1 for a, b in zip(self.residues, other.residues) if a != b)
+
+    def identity(self, other: "ProteinSequence") -> float:
+        """Fraction of identical positions (1.0 = identical sequences)."""
+        if len(self) == 0:
+            raise SequenceError("cannot compute identity of an empty sequence")
+        return 1.0 - self.hamming_distance(other) / len(self)
+
+    def differing_positions(self, other: "ProteinSequence") -> List[int]:
+        """Positions at which the two sequences differ."""
+        if len(self) != len(other):
+            raise SequenceError("sequences must have equal length")
+        return [
+            index
+            for index, (a, b) in enumerate(zip(self.residues, other.residues))
+            if a != b
+        ]
+
+    def encode(self) -> np.ndarray:
+        """Integer encoding (indices into :data:`AMINO_ACIDS`), shape ``(L,)``."""
+        return np.fromiter(
+            (AA_TO_INDEX[residue] for residue in self.residues),
+            dtype=np.int64,
+            count=len(self.residues),
+        )
+
+    def composition(self) -> Dict[str, float]:
+        """Fraction of each amino acid present in the sequence."""
+        length = len(self.residues)
+        return {
+            aa: self.residues.count(aa) / length
+            for aa in AMINO_ACIDS
+            if aa in self.residues
+        }
+
+    def renamed(self, name: str) -> "ProteinSequence":
+        """Copy with a different display name."""
+        return ProteinSequence(residues=self.residues, chain_id=self.chain_id, name=name)
+
+
+@dataclass(frozen=True)
+class ScoredSequence:
+    """A designed sequence with its generator log-likelihood.
+
+    The ranking stage (Stage 2 of the IMPRESS pipeline) sorts candidate
+    sequences by this score; higher is better.
+    """
+
+    sequence: ProteinSequence
+    log_likelihood: float
+    generator: str = "surrogate-mpnn"
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.log_likelihood):
+            raise SequenceError("log_likelihood must be finite")
+
+    @staticmethod
+    def rank(candidates: Sequence["ScoredSequence"]) -> List["ScoredSequence"]:
+        """Return candidates sorted by decreasing log-likelihood (stable)."""
+        return sorted(
+            candidates, key=lambda scored: scored.log_likelihood, reverse=True
+        )

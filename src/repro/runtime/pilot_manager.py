@@ -1,0 +1,65 @@
+"""The client-side pilot manager.
+
+Mirrors RADICAL-Pilot's ``PilotManager``: it turns pilot descriptions into
+live pilots bound to platforms, launches them and keeps track of them for the
+session.  In the simulation the "resource acquisition" is immediate (there is
+no batch queue model); the bootstrap delay is the only launch cost, matching
+the Fig 5 phase breakdown which starts at pilot bootstrap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.hpc.platform import ComputePlatform
+from repro.runtime.durations import DurationModel
+from repro.runtime.pilot import Pilot, PilotDescription
+
+__all__ = ["PilotManager"]
+
+
+class PilotManager:
+    """Creates and launches pilots on simulated platforms."""
+
+    def __init__(self, durations: Optional[DurationModel] = None) -> None:
+        self._durations = durations or DurationModel()
+        self._pilots: Dict[str, Pilot] = {}
+
+    @property
+    def durations(self) -> DurationModel:
+        return self._durations
+
+    def submit_pilot(
+        self, description: PilotDescription, platform: ComputePlatform
+    ) -> Pilot:
+        """Create a pilot from ``description`` on ``platform`` and launch it."""
+        if description.nodes > len(platform.spec.nodes):
+            raise ConfigurationError(
+                f"pilot requests {description.nodes} nodes but platform "
+                f"{platform.spec.name!r} has only {len(platform.spec.nodes)}"
+            )
+        pilot = Pilot(description, platform, self._durations)
+        self._pilots[pilot.uid] = pilot
+        pilot.launch()
+        return pilot
+
+    def submit_pilots(
+        self, descriptions: List[PilotDescription], platform: ComputePlatform
+    ) -> List[Pilot]:
+        """Submit several pilots onto the same platform."""
+        return [self.submit_pilot(description, platform) for description in descriptions]
+
+    def get(self, uid: str) -> Pilot:
+        """Look up a pilot by uid."""
+        return self._pilots[uid]
+
+    def list_pilots(self) -> List[Pilot]:
+        """All pilots managed by this manager."""
+        return list(self._pilots.values())
+
+    def shutdown(self) -> None:
+        """Terminate all pilots that are still active."""
+        for pilot in self._pilots.values():
+            if pilot.is_active:
+                pilot.shutdown()

@@ -1,0 +1,101 @@
+"""The :class:`Session` facade.
+
+A session owns everything one experiment needs from the middleware: the
+simulated platform, the pilot manager, one pilot, and a task manager bound to
+it.  It is the reproduction's equivalent of ``radical.pilot.Session`` plus
+the boilerplate every RP script repeats (create managers, submit pilot,
+attach pilot to task manager).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hpc.platform import ComputePlatform
+from repro.hpc.resources import PlatformSpec
+from repro.runtime.durations import DurationModel
+from repro.runtime.pilot import Pilot, PilotDescription
+from repro.runtime.pilot_manager import PilotManager
+from repro.runtime.sequential import SequentialRunner
+from repro.runtime.task_manager import TaskManager
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One middleware session: platform + pilot + task manager.
+
+    Parameters
+    ----------
+    platform_spec:
+        Platform to simulate; defaults to one Amarel-like GPU node.
+    pilot_description:
+        Pilot to launch; a default single-node pilot is used when omitted.
+    durations:
+        Task duration model shared by the pilot's agent.
+    """
+
+    def __init__(
+        self,
+        platform_spec: Optional[PlatformSpec] = None,
+        pilot_description: Optional[PilotDescription] = None,
+        durations: Optional[DurationModel] = None,
+    ) -> None:
+        self._durations = durations or DurationModel()
+        self._platform = ComputePlatform(platform_spec)
+        self._pilot_manager = PilotManager(self._durations)
+        self._pilot_description = pilot_description or PilotDescription()
+        self._pilot: Optional[Pilot] = None
+        self._task_manager: Optional[TaskManager] = None
+        self._closed = False
+
+    # -- lazy construction -------------------------------------------------- #
+
+    @property
+    def platform(self) -> ComputePlatform:
+        return self._platform
+
+    @property
+    def durations(self) -> DurationModel:
+        return self._durations
+
+    @property
+    def pilot(self) -> Pilot:
+        """The session's pilot (launched on first access)."""
+        if self._pilot is None:
+            self._pilot = self._pilot_manager.submit_pilot(
+                self._pilot_description, self._platform
+            )
+        return self._pilot
+
+    @property
+    def task_manager(self) -> TaskManager:
+        """The session's task manager (bound to the pilot on first access)."""
+        if self._task_manager is None:
+            self._task_manager = TaskManager(self.pilot)
+        return self._task_manager
+
+    def sequential_runner(self) -> SequentialRunner:
+        """A middleware-free runner on this session's platform (CONT-V mode)."""
+        return SequentialRunner(self._platform, self._durations)
+
+    # -- lifecycle ------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain the event loop and shut the pilot down."""
+        if self._closed:
+            return
+        self._platform.run()
+        if self._pilot is not None and self._pilot.is_active:
+            self._pilot.shutdown()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

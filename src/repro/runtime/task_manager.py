@@ -1,0 +1,138 @@
+"""The client-side task manager.
+
+Mirrors RADICAL-Pilot's ``TaskManager``: accepts task descriptions, binds
+them to a pilot's agent, exposes completion callbacks and a ``wait_tasks``
+call.  Because execution is simulated, ``wait_tasks`` simply drives the
+platform's event loop until the requested tasks reach a final state — the
+calling code (the IMPRESS coordinator) is structured exactly as it would be
+against the real middleware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, TaskError
+from repro.runtime.pilot import Pilot
+from repro.runtime.queues import Channel
+from repro.runtime.states import TaskState
+from repro.runtime.task import Task, TaskDescription
+
+__all__ = ["TaskManager"]
+
+
+class TaskManager:
+    """Submits tasks to a pilot and tracks their completion."""
+
+    def __init__(self, pilot: Optional[Pilot] = None) -> None:
+        self._pilot: Optional[Pilot] = None
+        self._tasks: Dict[str, Task] = {}
+        self._callbacks: List[Callable[[Task, TaskState], None]] = []
+        self.completed_channel: Channel[Task] = Channel("completed-tasks")
+        if pilot is not None:
+            self.add_pilot(pilot)
+
+    # -- pilot binding ----------------------------------------------------- #
+
+    def add_pilot(self, pilot: Pilot) -> None:
+        """Bind this task manager to a pilot (one pilot per manager)."""
+        if self._pilot is not None:
+            raise ConfigurationError("task manager is already bound to a pilot")
+        self._pilot = pilot
+        pilot.agent.on_completion(self._on_agent_completion)
+
+    @property
+    def pilot(self) -> Pilot:
+        if self._pilot is None:
+            raise ConfigurationError("task manager has no pilot attached")
+        return self._pilot
+
+    # -- submission --------------------------------------------------------- #
+
+    def submit_tasks(
+        self, descriptions: Sequence[TaskDescription] | TaskDescription
+    ) -> List[Task]:
+        """Create tasks from descriptions and hand them to the pilot's agent."""
+        if isinstance(descriptions, TaskDescription):
+            descriptions = [descriptions]
+        pilot = self.pilot
+        tasks: List[Task] = []
+        now = pilot.platform.now
+        for description in descriptions:
+            task = Task(description)
+            task.submit_time = now
+            self._tasks[task.uid] = task
+            pilot.agent.submit(task)
+            tasks.append(task)
+        return tasks
+
+    def get(self, uid: str) -> Task:
+        """Look up a task by uid."""
+        return self._tasks[uid]
+
+    def list_tasks(self) -> List[Task]:
+        """All tasks ever submitted through this manager."""
+        return list(self._tasks.values())
+
+    # -- callbacks ----------------------------------------------------------- #
+
+    def register_callback(self, callback: Callable[[Task, TaskState], None]) -> None:
+        """Register a ``(task, state)`` callback fired at final states."""
+        self._callbacks.append(callback)
+
+    def _on_agent_completion(self, task: Task) -> None:
+        self.completed_channel.put(task)
+        for callback in list(self._callbacks):
+            callback(task, task.state)
+
+    # -- waiting -------------------------------------------------------------- #
+
+    def wait_tasks(
+        self,
+        tasks: Optional[Iterable[Task]] = None,
+        raise_on_failure: bool = False,
+        max_events: int = 10_000_000,
+    ) -> List[TaskState]:
+        """Run the simulation until the given tasks (default: all) are final.
+
+        Parameters
+        ----------
+        tasks:
+            Tasks to wait for; defaults to every task submitted so far.
+        raise_on_failure:
+            If true, raise :class:`TaskError` when any awaited task FAILED.
+        max_events:
+            Safety bound on the number of simulation events processed.
+
+        Returns
+        -------
+        list of TaskState
+            Final states in the order of the awaited tasks.
+        """
+        awaited = list(tasks) if tasks is not None else list(self._tasks.values())
+        loop = self.pilot.platform.loop
+        processed = 0
+        while any(not task.is_final for task in awaited):
+            if not loop.step():
+                pending = [task.uid for task in awaited if not task.is_final]
+                raise TaskError(
+                    f"simulation drained with tasks still pending: {pending}"
+                )
+            processed += 1
+            if processed > max_events:
+                raise TaskError("wait_tasks exceeded the maximum event budget")
+        if raise_on_failure:
+            failures = [task for task in awaited if task.failed]
+            if failures:
+                raise TaskError(
+                    "tasks failed: "
+                    + ", ".join(f"{task.uid} ({task.stderr})" for task in failures)
+                )
+        return [task.state for task in awaited]
+
+    def counts(self) -> Dict[str, int]:
+        """Histogram of current task states."""
+        histogram: Dict[str, int] = {}
+        for task in self._tasks.values():
+            histogram[task.state.value] = histogram.get(task.state.value, 0) + 1
+        return histogram

@@ -1,0 +1,31 @@
+"""Shared utilities: deterministic RNG streams, statistics, logging, timing."""
+
+from repro.utils.rng import RNGRegistry, derive_seed, spawn_rng
+from repro.utils.stats import (
+    SummaryStats,
+    bootstrap_ci,
+    median_and_spread,
+    net_delta_percent,
+    summarize,
+)
+from repro.utils.timer import Stopwatch
+from repro.utils.logging import EventLog, LogRecord, get_logger
+from repro.utils.serialization import to_jsonable, dump_json, load_json
+
+__all__ = [
+    "RNGRegistry",
+    "derive_seed",
+    "spawn_rng",
+    "SummaryStats",
+    "bootstrap_ci",
+    "median_and_spread",
+    "net_delta_percent",
+    "summarize",
+    "Stopwatch",
+    "EventLog",
+    "LogRecord",
+    "get_logger",
+    "to_jsonable",
+    "dump_json",
+    "load_json",
+]

@@ -1,0 +1,69 @@
+"""JSON serialization helpers.
+
+Campaign results, traces and benchmark outputs are persisted as JSON so that
+the analysis layer and external tooling can consume them.  NumPy scalars and
+arrays, dataclasses and enums are converted to plain Python types first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable builtins.
+
+    Supported conversions:
+
+    * dataclass instances -> dict (via :func:`dataclasses.asdict`-like walk
+      that preserves nested conversion rules),
+    * :class:`enum.Enum` -> its ``value``,
+    * NumPy scalars -> Python scalars, NumPy arrays -> nested lists,
+    * sets and tuples -> lists,
+    * mappings and sequences -> recursively converted copies.
+
+    Objects exposing an ``as_dict()`` method are converted through it.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return to_jsonable(obj.value)
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if hasattr(obj, "as_dict") and callable(obj.as_dict):
+        return to_jsonable(obj.as_dict())
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    raise TypeError(f"object of type {type(obj).__name__} is not JSON-convertible")
+
+
+def dump_json(obj: Any, path: Union[str, Path], *, indent: int = 2) -> Path:
+    """Serialise ``obj`` to JSON at ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=False))
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load a JSON document from ``path``."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,89 @@
+"""Tests for the population-based genetic optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.genetic import GeneticConfig, GeneticOptimizer
+from repro.exceptions import ConfigurationError
+from repro.protein.folding import SurrogateAlphaFold
+from repro.protein.mpnn import MPNNConfig, SurrogateProteinMPNN
+
+
+class TestGeneticConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(population_size=0)
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(crossover_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(elitism=10, population_size=4)
+
+
+class TestGeneticOptimizer:
+    @pytest.fixture()
+    def optimizer(self, target):
+        config = GeneticConfig(population_size=6, offspring_per_parent=2, n_generations=3)
+        return GeneticOptimizer(target, config=config, seed=17)
+
+    def test_best_requires_run(self, optimizer):
+        with pytest.raises(ConfigurationError):
+            optimizer.best()
+
+    def test_run_improves_over_native(self, optimizer, target, models):
+        best = optimizer.run()
+        baseline = models.folding.predict(target.complex, target.landscape).metrics
+        assert best.composite > baseline.composite()
+        assert best.fitness > target.native_fitness()
+
+    def test_history_length_and_population_size(self, optimizer):
+        optimizer.run()
+        history = optimizer.history
+        assert len(history) == optimizer.config.n_generations + 1
+        assert all(len(population) == optimizer.config.population_size for population in history)
+
+    def test_best_per_generation_overall_improves(self, optimizer):
+        optimizer.run()
+        series = optimizer.best_per_generation()
+        assert series[-1] >= series[0]
+
+    def test_elitism_keeps_best_individuals(self, target):
+        config = GeneticConfig(
+            population_size=5, offspring_per_parent=1, n_generations=2, elitism=2
+        )
+        optimizer = GeneticOptimizer(target, config=config, seed=5)
+        optimizer.run()
+        history = optimizer.history
+        for previous, current in zip(history, history[1:]):
+            best_before = max(ind.composite for ind in previous)
+            best_after = max(ind.composite for ind in current)
+            assert best_after >= best_before - 1e-9
+
+    def test_fixed_positions_respected_through_generations(self, target):
+        fixed = tuple(target.complex.designable_positions[:4])
+        mpnn = SurrogateProteinMPNN(MPNNConfig(fixed_positions=fixed), seed=9)
+        config = GeneticConfig(
+            population_size=4, offspring_per_parent=1, n_generations=2,
+            crossover_rate=0.0, mutation_fallback_rate=0.0,
+        )
+        optimizer = GeneticOptimizer(target, mpnn=mpnn, config=config, seed=9)
+        best = optimizer.run()
+        native = target.complex.receptor.sequence
+        for position in fixed:
+            assert best.sequence[position] == native[position]
+
+    def test_custom_objective(self, target):
+        config = GeneticConfig(population_size=4, offspring_per_parent=1, n_generations=1)
+        optimizer = GeneticOptimizer(
+            target, config=config, seed=3, objective=lambda metrics: metrics.ptm
+        )
+        best = optimizer.run()
+        everyone = [ind for population in optimizer.history for ind in population]
+        assert best.metrics.ptm == max(ind.metrics.ptm for ind in everyone)
+
+    def test_deterministic_given_seed(self, target):
+        config = GeneticConfig(population_size=4, offspring_per_parent=1, n_generations=2)
+        a = GeneticOptimizer(target, config=config, seed=21).run()
+        b = GeneticOptimizer(target, config=config, seed=21).run()
+        assert a.sequence.residues == b.sequence.residues
+        assert a.composite == pytest.approx(b.composite)

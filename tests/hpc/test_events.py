@@ -1,0 +1,134 @@
+"""Tests for the discrete-event loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.hpc.events import EventLoop
+
+
+class TestScheduling:
+    def test_schedule_and_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [5.0]
+        assert loop.now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("low"), priority=10)
+        loop.schedule(1.0, lambda: order.append("high"), priority=0)
+        loop.run()
+        assert order == ["high", "low"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("first"))
+        loop.schedule(1.0, lambda: order.append("second"))
+        loop.run()
+        assert order == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(depth):
+            fired.append(loop.now)
+            if depth > 0:
+                loop.schedule(1.0, chain, depth - 1)
+
+        loop.schedule(0.0, chain, 3)
+        loop.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_kwargs_passed_to_callback(self):
+        loop = EventLoop()
+        seen = {}
+        loop.schedule(1.0, lambda **kw: seen.update(kw), tag="x")
+        loop.run()
+        assert seen == {"tag": "x"}
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_pending_ignores_cancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 2
+        event.cancel()
+        assert loop.pending == 1
+
+
+class TestRunUntil:
+    def test_run_until_advances_clock_even_without_events(self):
+        loop = EventLoop()
+        executed = loop.run_until(100.0)
+        assert executed == 0
+        assert loop.now == 100.0
+
+    def test_run_until_only_runs_due_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("early"))
+        loop.schedule(10.0, lambda: fired.append("late"))
+        loop.run_until(5.0)
+        assert fired == ["early"]
+        assert loop.pending == 1
+
+    def test_run_until_past_raises(self):
+        loop = EventLoop(start_time=50.0)
+        with pytest.raises(SimulationError):
+            loop.run_until(10.0)
+
+    def test_advance_relative(self):
+        loop = EventLoop(start_time=5.0)
+        loop.advance(10.0)
+        assert loop.now == 15.0
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+        for index in range(10):
+            loop.schedule(float(index), lambda: None)
+        executed = loop.run(max_events=3)
+        assert executed == 3
+        assert loop.pending == 7
+
+    def test_peek_and_processed(self):
+        loop = EventLoop()
+        assert loop.peek() is None
+        loop.schedule(2.0, lambda: None)
+        assert loop.peek() == 2.0
+        loop.run()
+        assert loop.processed == 1

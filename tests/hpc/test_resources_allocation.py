@@ -1,0 +1,151 @@
+"""Tests for resource specs and the node allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AllocationError,
+    ConfigurationError,
+    InsufficientResourcesError,
+)
+from repro.hpc.allocation import NodeAllocator
+from repro.hpc.resources import (
+    AMAREL_NODE,
+    NodeSpec,
+    PlatformSpec,
+    ResourceRequest,
+    amarel_platform,
+    single_node_platform,
+)
+
+
+class TestResourceRequest:
+    def test_defaults(self):
+        request = ResourceRequest()
+        assert request.cpu_cores == 1
+        assert request.gpus == 0
+
+    def test_rejects_zero_everything(self):
+        with pytest.raises(ConfigurationError):
+            ResourceRequest(cpu_cores=0, gpus=0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ResourceRequest(cpu_cores=-1)
+
+    def test_scaled(self):
+        request = ResourceRequest(cpu_cores=2, gpus=1, memory_gb=4.0).scaled(3)
+        assert (request.cpu_cores, request.gpus, request.memory_gb) == (6, 3, 12.0)
+
+    def test_scaled_rejects_zero_factor(self):
+        with pytest.raises(ConfigurationError):
+            ResourceRequest(cpu_cores=1).scaled(0)
+
+
+class TestSpecs:
+    def test_amarel_node_matches_paper(self):
+        assert AMAREL_NODE.cpu_cores == 28
+        assert AMAREL_NODE.gpus == 4
+        assert AMAREL_NODE.memory_gb == 128.0
+        assert AMAREL_NODE.gpu_memory_gb == 12.0
+
+    def test_amarel_platform_totals(self):
+        spec = amarel_platform(2)
+        assert spec.total_cpu_cores == 56
+        assert spec.total_gpus == 8
+
+    def test_amarel_platform_requires_positive_nodes(self):
+        with pytest.raises(ConfigurationError):
+            amarel_platform(0)
+
+    def test_node_can_ever_fit(self):
+        assert AMAREL_NODE.can_ever_fit(ResourceRequest(cpu_cores=28, gpus=4))
+        assert not AMAREL_NODE.can_ever_fit(ResourceRequest(cpu_cores=29))
+
+    def test_platform_rejects_duplicate_node_names(self):
+        node = NodeSpec(name="n", cpu_cores=4, gpus=0, memory_gb=8.0)
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(name="p", nodes=(node, node))
+
+    def test_platform_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(name="p", nodes=())
+
+    def test_single_node_platform_shape(self):
+        spec = single_node_platform(cpu_cores=16, gpus=2)
+        assert spec.total_cpu_cores == 16
+        assert spec.total_gpus == 2
+
+    def test_describe_keys(self):
+        assert {"name", "nodes", "cpu_cores", "gpus", "memory_gb"} <= set(
+            amarel_platform().describe()
+        )
+
+
+class TestNodeAllocator:
+    def setup_method(self):
+        self.allocator = NodeAllocator(amarel_platform(1))
+
+    def test_initial_capacity(self):
+        assert self.allocator.free_cores() == 28
+        assert self.allocator.free_gpus() == 4
+        assert self.allocator.busy_cores() == 0
+
+    def test_allocate_reduces_free(self):
+        self.allocator.allocate(ResourceRequest(cpu_cores=8, gpus=1, memory_gb=16))
+        assert self.allocator.free_cores() == 20
+        assert self.allocator.free_gpus() == 3
+        assert self.allocator.free_memory_gb() == pytest.approx(112.0)
+
+    def test_release_restores_capacity(self):
+        allocation = self.allocator.allocate(ResourceRequest(cpu_cores=8, gpus=2))
+        self.allocator.release(allocation)
+        assert self.allocator.free_cores() == 28
+        assert self.allocator.free_gpus() == 4
+
+    def test_device_ids_are_disjoint_across_live_allocations(self):
+        a = self.allocator.allocate(ResourceRequest(cpu_cores=4, gpus=1))
+        b = self.allocator.allocate(ResourceRequest(cpu_cores=4, gpus=1))
+        assert not set(a.cpu_core_ids) & set(b.cpu_core_ids)
+        assert not set(a.gpu_ids) & set(b.gpu_ids)
+
+    def test_impossible_request_raises_insufficient(self):
+        with pytest.raises(InsufficientResourcesError):
+            self.allocator.allocate(ResourceRequest(cpu_cores=64))
+
+    def test_temporarily_unavailable_raises_allocation_error(self):
+        self.allocator.allocate(ResourceRequest(cpu_cores=28))
+        with pytest.raises(AllocationError):
+            self.allocator.allocate(ResourceRequest(cpu_cores=1))
+
+    def test_double_release_raises(self):
+        allocation = self.allocator.allocate(ResourceRequest(cpu_cores=1))
+        self.allocator.release(allocation)
+        with pytest.raises(AllocationError):
+            self.allocator.release(allocation)
+
+    def test_fits_now_tracks_state(self):
+        request = ResourceRequest(cpu_cores=28)
+        assert self.allocator.fits_now(request)
+        self.allocator.allocate(request)
+        assert not self.allocator.fits_now(request)
+
+    def test_utilization_fractions(self):
+        self.allocator.allocate(ResourceRequest(cpu_cores=14, gpus=2, memory_gb=64))
+        utilization = self.allocator.utilization()
+        assert utilization["cpu"] == pytest.approx(0.5)
+        assert utilization["gpu"] == pytest.approx(0.5)
+        assert utilization["memory"] == pytest.approx(0.5)
+
+    def test_multi_node_spillover(self):
+        allocator = NodeAllocator(amarel_platform(2))
+        first = allocator.allocate(ResourceRequest(cpu_cores=28))
+        second = allocator.allocate(ResourceRequest(cpu_cores=28))
+        assert first.node != second.node
+
+    def test_live_allocations_listing(self):
+        allocation = self.allocator.allocate(ResourceRequest(cpu_cores=2))
+        assert allocation in self.allocator.live_allocations
+        self.allocator.release(allocation)
+        assert self.allocator.live_allocations == []

@@ -1,0 +1,131 @@
+"""End-to-end integration tests: full campaigns, determinism, paper claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import table1
+from repro.core.campaign import CampaignConfig, DesignCampaign
+from repro.core.decision import SubPipelinePolicy
+from repro.protein.datasets import expanded_pdz_set, named_pdz_targets
+
+
+class TestPaperScenarioSmall:
+    """Scaled-down versions of the paper's experiments run end to end."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        targets = named_pdz_targets(seed=31)
+        control = DesignCampaign(
+            targets, CampaignConfig(protocol="cont-v", n_cycles=3, n_sequences=6, seed=31)
+        ).run()
+        adaptive = DesignCampaign(
+            targets, CampaignConfig(protocol="im-rp", n_cycles=3, n_sequences=6, seed=31)
+        ).run()
+        return control, adaptive
+
+    def test_adaptive_wins_on_every_quality_metric(self, results):
+        control, adaptive = results
+        control_final = control.iteration_summary()[max(control.iteration_summary())]
+        adaptive_final = adaptive.iteration_summary()[max(adaptive.iteration_summary())]
+        assert adaptive_final["plddt"]["median"] > control_final["plddt"]["median"]
+        assert adaptive_final["ptm"]["median"] > control_final["ptm"]["median"]
+        assert adaptive_final["interchain_pae"]["median"] < control_final["interchain_pae"]["median"]
+
+    def test_adaptive_is_more_consistent(self, results):
+        control, adaptive = results
+        control_final = control.iteration_summary()[max(control.iteration_summary())]
+        adaptive_final = adaptive.iteration_summary()[max(adaptive.iteration_summary())]
+        assert adaptive_final["plddt"]["std"] < control_final["plddt"]["std"] * 1.5
+
+    def test_adaptive_examines_more_trajectories(self, results):
+        control, adaptive = results
+        assert adaptive.n_trajectories > control.n_trajectories
+
+    def test_adaptive_uses_resources_better(self, results):
+        control, adaptive = results
+        assert adaptive.cpu_utilization > 2 * control.cpu_utilization
+        assert adaptive.gpu_utilization > control.gpu_utilization
+        # Concurrency shortens wall-clock even though aggregate work grows.
+        assert adaptive.makespan_hours < control.makespan_hours
+        assert adaptive.total_task_hours > control.total_task_hours
+
+    def test_table1_claims_all_hold(self, results):
+        control, adaptive = results
+        assert all(table1(control, adaptive)["claims"].values())
+
+    def test_quality_improves_monotonically_under_adaptivity(self, results):
+        _, adaptive = results
+        summary = adaptive.iteration_summary()
+        medians = [summary[i]["plddt"]["median"] for i in sorted(summary)]
+        assert medians[-1] > medians[0]
+        # Each adaptive iteration's cohort median never collapses below the baseline.
+        assert all(median >= medians[0] - 1e-9 for median in medians[1:])
+
+
+class TestDeterminism:
+    def test_same_seed_same_scientific_outcome(self):
+        targets = named_pdz_targets(seed=41)
+        config = CampaignConfig(protocol="im-rp", n_cycles=2, n_sequences=5, seed=41)
+        first = DesignCampaign(named_pdz_targets(seed=41), config).run()
+        second = DesignCampaign(targets, config).run()
+        assert first.n_trajectories == second.n_trajectories
+        assert first.n_subpipelines == second.n_subpipelines
+        assert first.net_deltas() == pytest.approx(second.net_deltas())
+        assert first.cpu_utilization == pytest.approx(second.cpu_utilization)
+        first_sequences = sorted(t.sequence for t in first.trajectories)
+        second_sequences = sorted(t.sequence for t in second.trajectories)
+        assert first_sequences == second_sequences
+
+    def test_different_seed_changes_outcome(self):
+        config_a = CampaignConfig(protocol="im-rp", n_cycles=2, n_sequences=5, seed=1)
+        config_b = CampaignConfig(protocol="im-rp", n_cycles=2, n_sequences=5, seed=2)
+        result_a = DesignCampaign(named_pdz_targets(seed=1), config_a).run()
+        result_b = DesignCampaign(named_pdz_targets(seed=2), config_b).run()
+        assert sorted(t.sequence for t in result_a.trajectories) != sorted(
+            t.sequence for t in result_b.trajectories
+        )
+
+
+class TestExpandedCampaign:
+    """A scaled-down Fig 3 scenario: many targets, adaptivity off in the last cycle."""
+
+    def test_final_cycle_deteriorates_without_adaptivity(self):
+        targets = expanded_pdz_set(n_targets=16, seed=51)
+        config = CampaignConfig(
+            protocol="im-rp",
+            n_cycles=4,
+            n_sequences=6,
+            seed=51,
+            adaptivity_schedule=(True, True, True, False),
+            spawn_policy=SubPipelinePolicy(max_per_pipeline=1),
+        )
+        result = DesignCampaign(targets, config).run()
+        summary = result.iteration_summary()
+        iterations = sorted(summary)
+        plddt = [summary[i]["plddt"]["median"] for i in iterations]
+        # Improvement through the adaptive cycles...
+        assert plddt[3] > plddt[0]
+        assert plddt[2] > plddt[1] or plddt[3] > plddt[1]
+        # ...and a drop (or at best stagnation) once adaptivity is removed.
+        assert plddt[4] < plddt[3]
+
+    def test_many_targets_all_complete(self):
+        targets = expanded_pdz_set(n_targets=10, seed=61)
+        config = CampaignConfig(protocol="im-rp", n_cycles=2, n_sequences=5, seed=61)
+        result = DesignCampaign(targets, config).run()
+        assert result.n_pipelines == 10
+        assert result.n_trajectories >= 20
+
+
+class TestFailureResilience:
+    def test_landscape_mismatch_does_not_crash_campaign_setup(self):
+        # Building campaigns for heterogeneous target sizes (different
+        # receptor lengths) must work: each pipeline carries its own target.
+        targets = expanded_pdz_set(n_targets=5, seed=71)
+        lengths = {len(t.complex.receptor) for t in targets}
+        assert len(lengths) > 1
+        result = DesignCampaign(
+            targets, CampaignConfig(protocol="im-rp", n_cycles=1, n_sequences=4, seed=71)
+        ).run()
+        assert result.n_pipelines == 5

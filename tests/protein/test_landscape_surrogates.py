@@ -1,0 +1,289 @@
+"""Tests for the fitness landscape and the ProteinMPNN / AlphaFold surrogates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ProteinError, SequenceError
+from repro.protein.datasets import make_pdz_target
+from repro.protein.folding import FoldingConfig, SurrogateAlphaFold
+from repro.protein.landscape import FitnessLandscape
+from repro.protein.mpnn import MPNNConfig, SurrogateProteinMPNN
+from repro.protein.mutation import point_mutations, random_sequence
+from repro.protein.sequence import ProteinSequence, ScoredSequence
+from repro.utils.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def pdz_target():
+    return make_pdz_target("HTRA1", seed=23)
+
+
+class TestFitnessLandscape:
+    def test_fitness_bounded(self, pdz_target):
+        landscape = pdz_target.landscape
+        rng = spawn_rng(1, "probe")
+        for _ in range(30):
+            sequence = random_sequence(landscape.receptor_length, rng)
+            assert 0.0 <= landscape.fitness(sequence) <= 1.0
+
+    def test_native_fitness_leaves_headroom(self, pdz_target):
+        landscape = pdz_target.landscape
+        native = landscape.native_fitness()
+        best = landscape.best_reachable_fitness(n_samples=300)
+        assert 0.05 < native < 0.6
+        assert best > native + 0.1
+
+    def test_deterministic_for_same_seed(self, pdz_target):
+        landscape = pdz_target.landscape
+        other = FitnessLandscape(
+            target_name=landscape.target_name,
+            receptor_length=landscape.receptor_length,
+            designable_positions=landscape.designable_positions,
+            native_sequence=landscape.native_sequence,
+            seed=landscape.seed,
+        )
+        sequence = landscape.native_sequence
+        assert landscape.fitness(sequence) == pytest.approx(other.fitness(sequence))
+
+    def test_different_seed_changes_landscape(self, pdz_target):
+        landscape = pdz_target.landscape
+        other = FitnessLandscape(
+            target_name=landscape.target_name,
+            receptor_length=landscape.receptor_length,
+            designable_positions=landscape.designable_positions,
+            native_sequence=landscape.native_sequence,
+            seed=landscape.seed + 1,
+        )
+        rng = spawn_rng(2, "probe")
+        sequence = random_sequence(landscape.receptor_length, rng)
+        assert landscape.fitness(sequence) != pytest.approx(other.fitness(sequence))
+
+    def test_mutation_outside_designable_positions_is_neutral(self, pdz_target):
+        landscape = pdz_target.landscape
+        native = landscape.native_sequence
+        outside = next(
+            position
+            for position in range(landscape.receptor_length)
+            if position not in landscape.designable_positions
+        )
+        current = native[outside]
+        replacement = "W" if current != "W" else "Y"
+        mutated = native.with_substitution(outside, replacement)
+        assert landscape.fitness(mutated) == pytest.approx(landscape.fitness(native))
+
+    def test_mutation_inside_designable_positions_changes_fitness(self, pdz_target):
+        landscape = pdz_target.landscape
+        native = landscape.native_sequence
+        rng = spawn_rng(3, "mutate")
+        mutated = point_mutations(native, landscape.designable_positions, 3, rng)
+        assert landscape.fitness(mutated) != pytest.approx(landscape.fitness(native))
+
+    def test_length_mismatch_raises(self, pdz_target):
+        with pytest.raises(SequenceError):
+            pdz_target.landscape.fitness(ProteinSequence(residues="ACD", chain_id="A"))
+
+    def test_partial_score_correlates_with_fitness(self, pdz_target):
+        landscape = pdz_target.landscape
+        rng = spawn_rng(4, "corr")
+        partials, fits = [], []
+        for _ in range(60):
+            sequence = point_mutations(
+                landscape.native_sequence, landscape.designable_positions, 4, rng
+            )
+            partials.append(landscape.partial_score(sequence))
+            fits.append(landscape.fitness(sequence))
+        correlation = np.corrcoef(partials, fits)[0, 1]
+        assert correlation > 0.4
+
+    def test_additive_profile_only_for_designable(self, pdz_target):
+        landscape = pdz_target.landscape
+        profile = landscape.additive_profile(landscape.designable_positions[0])
+        assert profile.shape == (20,)
+        outside = next(
+            p for p in range(landscape.receptor_length)
+            if p not in landscape.designable_positions
+        )
+        with pytest.raises(ProteinError):
+            landscape.additive_profile(outside)
+
+    def test_couplings_exist(self, pdz_target):
+        landscape = pdz_target.landscape
+        assert landscape.n_couplings > 0
+        for a, b in landscape.coupled_pairs():
+            assert a in landscape.designable_positions
+            assert b in landscape.designable_positions
+
+    def test_constructor_validation(self, pdz_target):
+        native = pdz_target.landscape.native_sequence
+        with pytest.raises(ProteinError):
+            FitnessLandscape("x", len(native), [], native, seed=1)
+        with pytest.raises(ProteinError):
+            FitnessLandscape("x", len(native), [len(native) + 5], native, seed=1)
+
+
+class TestSurrogateProteinMPNN:
+    def test_generates_requested_count(self, pdz_target):
+        mpnn = SurrogateProteinMPNN(seed=1)
+        designs = mpnn.generate(pdz_target.complex, pdz_target.landscape, n_sequences=7)
+        assert len(designs) == 7
+
+    def test_sequences_have_receptor_length_and_finite_scores(self, pdz_target):
+        mpnn = SurrogateProteinMPNN(seed=1)
+        for scored in mpnn.generate(pdz_target.complex, pdz_target.landscape):
+            assert len(scored.sequence) == pdz_target.landscape.receptor_length
+            assert np.isfinite(scored.log_likelihood)
+
+    def test_mutations_restricted_to_designable_positions(self, pdz_target):
+        mpnn = SurrogateProteinMPNN(seed=2)
+        native = pdz_target.complex.receptor.sequence
+        designable = set(pdz_target.landscape.designable_positions)
+        for scored in mpnn.generate(pdz_target.complex, pdz_target.landscape):
+            assert set(native.differing_positions(scored.sequence)) <= designable
+
+    def test_fixed_positions_respected(self, pdz_target):
+        fixed = pdz_target.landscape.designable_positions[:3]
+        mpnn = SurrogateProteinMPNN(MPNNConfig(fixed_positions=tuple(fixed)), seed=3)
+        native = pdz_target.complex.receptor.sequence
+        for scored in mpnn.generate(pdz_target.complex, pdz_target.landscape):
+            for position in fixed:
+                assert scored.sequence[position] == native[position]
+
+    def test_deterministic_given_stream(self, pdz_target):
+        a = SurrogateProteinMPNN(seed=5).generate(
+            pdz_target.complex, pdz_target.landscape, stream=("c", 0)
+        )
+        b = SurrogateProteinMPNN(seed=5).generate(
+            pdz_target.complex, pdz_target.landscape, stream=("c", 0)
+        )
+        assert [s.sequence.residues for s in a] == [s.sequence.residues for s in b]
+
+    def test_different_streams_differ(self, pdz_target):
+        mpnn = SurrogateProteinMPNN(seed=5)
+        a = mpnn.generate(pdz_target.complex, pdz_target.landscape, stream=("c", 0))
+        b = mpnn.generate(pdz_target.complex, pdz_target.landscape, stream=("c", 1))
+        assert [s.sequence.residues for s in a] != [s.sequence.residues for s in b]
+
+    def test_better_backbone_yields_better_designs_on_average(self, pdz_target):
+        mpnn = SurrogateProteinMPNN(seed=7)
+        landscape = pdz_target.landscape
+        poor = pdz_target.complex.with_backbone_quality(0.05)
+        good = pdz_target.complex.with_backbone_quality(0.95)
+        poor_fitness = np.mean([
+            landscape.fitness(s.sequence)
+            for s in mpnn.generate(poor, landscape, n_sequences=30, stream=("poor",))
+        ])
+        good_fitness = np.mean([
+            landscape.fitness(s.sequence)
+            for s in mpnn.generate(good, landscape, n_sequences=30, stream=("good",))
+        ])
+        assert good_fitness > poor_fitness
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MPNNConfig(n_sequences=0)
+        with pytest.raises(ConfigurationError):
+            MPNNConfig(temperature=0)
+        with pytest.raises(ConfigurationError):
+            MPNNConfig(mutation_rate=0.0)
+
+    def test_all_positions_fixed_raises(self, pdz_target):
+        config = MPNNConfig(fixed_positions=tuple(pdz_target.landscape.designable_positions))
+        mpnn = SurrogateProteinMPNN(config, seed=1)
+        with pytest.raises(ProteinError):
+            mpnn.generate(pdz_target.complex, pdz_target.landscape)
+
+
+class TestSurrogateAlphaFold:
+    def test_metric_ranges(self, pdz_target):
+        folding = SurrogateAlphaFold(seed=11)
+        rng = spawn_rng(8, "af")
+        for index in range(15):
+            sequence = point_mutations(
+                pdz_target.landscape.native_sequence,
+                pdz_target.landscape.designable_positions,
+                3,
+                rng,
+            )
+            result = folding.predict(
+                pdz_target.complex, pdz_target.landscape, sequence, stream=(index,)
+            )
+            assert 0.0 <= result.metrics.plddt <= 100.0
+            assert 0.0 <= result.metrics.ptm <= 1.0
+            assert result.metrics.interchain_pae >= 0.0
+            assert 0.0 <= result.fitness <= 1.0
+
+    def test_metrics_increase_with_fitness(self, pdz_target):
+        folding = SurrogateAlphaFold(seed=11)
+        landscape = pdz_target.landscape
+        rng = spawn_rng(9, "af")
+        records = []
+        for index in range(60):
+            # Vary the mutational load so the sampled fitness range is wide.
+            sequence = point_mutations(
+                landscape.native_sequence,
+                landscape.designable_positions,
+                1 + index % 12,
+                rng,
+            )
+            result = folding.predict(pdz_target.complex, landscape, sequence, stream=(index,))
+            records.append((result.fitness, result.metrics))
+        fits = np.array([fitness for fitness, _ in records])
+        plddts = np.array([metrics.plddt for _, metrics in records])
+        paes = np.array([metrics.interchain_pae for _, metrics in records])
+        # Correlation is positive/negative even with the surrogate's noise...
+        assert np.corrcoef(fits, plddts)[0, 1] > 0.3
+        assert np.corrcoef(fits, paes)[0, 1] < -0.3
+        # ...and the top-fitness tercile clearly beats the bottom tercile.
+        order = np.argsort(fits)
+        third = len(order) // 3
+        low, high = order[:third], order[-third:]
+        assert plddts[high].mean() > plddts[low].mean()
+        assert paes[high].mean() < paes[low].mean()
+
+    def test_refined_structure_closes_the_loop(self, pdz_target):
+        folding = SurrogateAlphaFold(seed=11)
+        result = folding.predict(pdz_target.complex, pdz_target.landscape)
+        assert result.structure.backbone_quality == pytest.approx(result.fitness)
+        assert result.structure.receptor.sequence.residues == (
+            pdz_target.complex.receptor.sequence.residues
+        )
+
+    def test_deterministic_per_stream(self, pdz_target):
+        folding = SurrogateAlphaFold(seed=11)
+        a = folding.predict(pdz_target.complex, pdz_target.landscape, stream=("x",))
+        b = folding.predict(pdz_target.complex, pdz_target.landscape, stream=("x",))
+        assert a.metrics.plddt == b.metrics.plddt
+
+    def test_single_sequence_mode_is_noisier(self, pdz_target):
+        landscape = pdz_target.landscape
+        sequence = landscape.native_sequence
+        full = SurrogateAlphaFold(FoldingConfig(msa_mode="full_msa"), seed=1)
+        single = SurrogateAlphaFold(FoldingConfig(msa_mode="single_sequence"), seed=1)
+        full_spread = np.std([
+            full.predict(pdz_target.complex, landscape, sequence, stream=(i,)).metrics.plddt
+            for i in range(25)
+        ])
+        single_spread = np.std([
+            single.predict(pdz_target.complex, landscape, sequence, stream=(i,)).metrics.plddt
+            for i in range(25)
+        ])
+        assert single_spread > full_spread
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FoldingConfig(msa_mode="bogus")
+        with pytest.raises(ConfigurationError):
+            FoldingConfig(n_models=0)
+
+    def test_length_mismatch_raises(self, pdz_target):
+        folding = SurrogateAlphaFold(seed=1)
+        with pytest.raises(ProteinError):
+            folding.predict(
+                pdz_target.complex,
+                pdz_target.landscape,
+                ProteinSequence(residues="ACD", chain_id="A"),
+            )

@@ -1,0 +1,201 @@
+"""Tests for the alphabet, sequences, scored sequences and FASTA I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SequenceError
+from repro.protein.alphabet import (
+    AMINO_ACIDS,
+    aa_index,
+    is_valid_sequence,
+    property_matrix,
+)
+from repro.protein.fasta import (
+    complex_record,
+    format_fasta,
+    parse_fasta,
+    read_fasta,
+    write_fasta,
+)
+from repro.protein.sequence import ProteinSequence, ScoredSequence
+
+_residue = st.sampled_from(AMINO_ACIDS)
+_residues = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=120)
+
+
+class TestAlphabet:
+    def test_twenty_unique_amino_acids(self):
+        assert len(AMINO_ACIDS) == 20
+        assert len(set(AMINO_ACIDS)) == 20
+
+    def test_aa_index_round_trip(self):
+        for index, residue in enumerate(AMINO_ACIDS):
+            assert aa_index(residue) == index
+
+    def test_unknown_residue_raises(self):
+        with pytest.raises(KeyError):
+            aa_index("X")
+
+    def test_is_valid_sequence(self):
+        assert is_valid_sequence("ACDEFGHIKLMNPQRSTVWY")
+        assert not is_valid_sequence("ACDX")
+        assert not is_valid_sequence("")
+
+    def test_property_matrix_standardised(self):
+        matrix = property_matrix()
+        assert matrix.shape == (20, 3)
+        assert np.allclose(matrix.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(matrix.std(axis=0), 1.0, atol=1e-9)
+
+
+class TestProteinSequence:
+    def test_rejects_invalid_residues(self):
+        with pytest.raises(SequenceError):
+            ProteinSequence(residues="ABZ", chain_id="A")
+
+    def test_rejects_empty_chain_id(self):
+        with pytest.raises(SequenceError):
+            ProteinSequence(residues="ACD", chain_id="")
+
+    def test_substitution_creates_new_object(self):
+        original = ProteinSequence(residues="ACDE", chain_id="A")
+        mutated = original.with_substitution(1, "W")
+        assert mutated.residues == "AWDE"
+        assert original.residues == "ACDE"
+
+    def test_substitution_validation(self):
+        sequence = ProteinSequence(residues="ACDE", chain_id="A")
+        with pytest.raises(SequenceError):
+            sequence.with_substitution(9, "A")
+        with pytest.raises(SequenceError):
+            sequence.with_substitution(0, "Z")
+
+    def test_multiple_substitutions(self):
+        sequence = ProteinSequence(residues="AAAA", chain_id="A")
+        mutated = sequence.with_substitutions({0: "W", 3: "Y"})
+        assert mutated.residues == "WAAY"
+
+    def test_hamming_and_identity(self):
+        a = ProteinSequence(residues="AAAA", chain_id="A")
+        b = ProteinSequence(residues="AAWY", chain_id="A")
+        assert a.hamming_distance(b) == 2
+        assert a.identity(b) == pytest.approx(0.5)
+        assert a.differing_positions(b) == [2, 3]
+
+    def test_length_mismatch_raises(self):
+        a = ProteinSequence(residues="AAA", chain_id="A")
+        b = ProteinSequence(residues="AAAA", chain_id="A")
+        with pytest.raises(SequenceError):
+            a.hamming_distance(b)
+
+    def test_encode_matches_alphabet(self):
+        sequence = ProteinSequence(residues="ACD", chain_id="A")
+        assert list(sequence.encode()) == [aa_index("A"), aa_index("C"), aa_index("D")]
+
+    def test_composition_sums_to_one(self):
+        sequence = ProteinSequence(residues="AACD", chain_id="A")
+        assert sum(sequence.composition().values()) == pytest.approx(1.0)
+
+    def test_iteration_and_indexing(self):
+        sequence = ProteinSequence(residues="ACD", chain_id="A")
+        assert list(sequence) == ["A", "C", "D"]
+        assert sequence[1] == "C"
+        assert len(sequence) == 3
+
+    @given(_residues, st.integers(min_value=0, max_value=200), _residue)
+    @settings(max_examples=80, deadline=None)
+    def test_substitution_property(self, residues, position, replacement):
+        sequence = ProteinSequence(residues=residues, chain_id="A")
+        if position >= len(residues):
+            with pytest.raises(SequenceError):
+                sequence.with_substitution(position, replacement)
+        else:
+            mutated = sequence.with_substitution(position, replacement)
+            assert mutated[position] == replacement
+            assert mutated.hamming_distance(sequence) <= 1
+
+
+class TestScoredSequence:
+    def test_rank_sorts_descending(self):
+        base = ProteinSequence(residues="ACD", chain_id="A")
+        scored = [
+            ScoredSequence(sequence=base, log_likelihood=value)
+            for value in (0.1, -2.0, 3.5)
+        ]
+        ranked = ScoredSequence.rank(scored)
+        assert [s.log_likelihood for s in ranked] == [3.5, 0.1, -2.0]
+
+    def test_rank_is_permutation(self):
+        base = ProteinSequence(residues="ACD", chain_id="A")
+        scored = [ScoredSequence(sequence=base, log_likelihood=float(i)) for i in range(5)]
+        ranked = ScoredSequence.rank(scored)
+        assert sorted(id(s) for s in ranked) == sorted(id(s) for s in scored)
+
+    def test_non_finite_score_rejected(self):
+        base = ProteinSequence(residues="ACD", chain_id="A")
+        with pytest.raises(SequenceError):
+            ScoredSequence(sequence=base, log_likelihood=float("nan"))
+
+
+class TestFasta:
+    def test_round_trip_single(self):
+        sequence = ProteinSequence(residues="ACDEFG" * 15, chain_id="A", name="design_1")
+        parsed = parse_fasta(format_fasta([sequence]))
+        assert len(parsed) == 1
+        assert parsed[0].residues == sequence.residues
+        assert parsed[0].chain_id == "A"
+        assert parsed[0].name == "design_1"
+
+    def test_round_trip_complex(self):
+        receptor = ProteinSequence(residues="ACD" * 30, chain_id="A", name="receptor")
+        peptide = ProteinSequence(residues="EPEA", chain_id="B", name="peptide")
+        parsed = parse_fasta(format_fasta([receptor, peptide]))
+        assert [p.chain_id for p in parsed] == ["A", "B"]
+        assert parsed[1].residues == "EPEA"
+
+    def test_line_wrapping(self):
+        sequence = ProteinSequence(residues="A" * 150, chain_id="A", name="long")
+        text = format_fasta([sequence])
+        longest = max(len(line) for line in text.splitlines())
+        assert longest <= 60
+
+    def test_plain_fasta_without_chain_suffix(self):
+        parsed = parse_fasta(">some_protein\nACDEF\n")
+        assert parsed[0].chain_id == "A"
+        assert parsed[0].name == "some_protein"
+
+    def test_malformed_input_raises(self):
+        with pytest.raises(SequenceError):
+            parse_fasta("ACDEF\n")
+        with pytest.raises(SequenceError):
+            parse_fasta(">empty_record\n>next\nACD\n")
+
+    def test_file_round_trip(self, tmp_path):
+        sequences = [
+            ProteinSequence(residues="ACDEF", chain_id="A", name="r"),
+            ProteinSequence(residues="EPEA", chain_id="B", name="p"),
+        ]
+        path = write_fasta(sequences, tmp_path / "designs.fasta")
+        loaded = read_fasta(path)
+        assert [s.residues for s in loaded] == ["ACDEF", "EPEA"]
+
+    def test_complex_record(self):
+        receptor = ProteinSequence(residues="ACDEF", chain_id="A", name="rec")
+        peptide = ProteinSequence(residues="EPEA", chain_id="B", name="pep")
+        label, chains = complex_record(receptor, peptide)
+        assert label == "rec__pep"
+        assert chains == {"A": "ACDEF", "B": "EPEA"}
+
+    @given(st.lists(_residues, min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, residue_strings):
+        sequences = [
+            ProteinSequence(residues=residues, chain_id="ABCD"[index], name=f"s{index}")
+            for index, residues in enumerate(residue_strings)
+        ]
+        parsed = parse_fasta(format_fasta(sequences))
+        assert [p.residues for p in parsed] == [s.residues for s in sequences]

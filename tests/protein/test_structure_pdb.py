@@ -1,0 +1,191 @@
+"""Tests for coarse structures, complexes and PDB I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StructureError
+from repro.protein.pdb import format_pdb, parse_pdb, read_pdb, write_pdb
+from repro.protein.sequence import ProteinSequence
+from repro.protein.structure import CA_CA_DISTANCE, Chain, ComplexStructure, synthetic_backbone
+
+
+def _chain(residues: str, chain_id: str, seed: int = 0, origin=(0.0, 0.0, 0.0)) -> Chain:
+    coords = synthetic_backbone(len(residues), seed=seed, origin=origin)
+    return Chain(
+        sequence=ProteinSequence(residues=residues, chain_id=chain_id),
+        coordinates=coords,
+    )
+
+
+def _complex(seed: int = 3) -> ComplexStructure:
+    receptor = _chain("ACDEFGHIKLMNPQRSTVWY" * 3, "A", seed=seed)
+    # Place the peptide right next to the first receptor residues so the
+    # interface is non-empty.
+    peptide_coords = receptor.coordinates[:4] + np.array([5.0, 0.0, 0.0])
+    peptide = Chain(
+        sequence=ProteinSequence(residues="EPEA", chain_id="B"),
+        coordinates=peptide_coords,
+    )
+    return ComplexStructure(name="test_complex", receptor=receptor, peptide=peptide)
+
+
+class TestSyntheticBackbone:
+    def test_shape_and_determinism(self):
+        a = synthetic_backbone(50, seed=1)
+        b = synthetic_backbone(50, seed=1)
+        c = synthetic_backbone(50, seed=2)
+        assert a.shape == (50, 3)
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_consecutive_ca_distance_fixed(self):
+        coords = synthetic_backbone(80, seed=5)
+        steps = np.linalg.norm(np.diff(coords, axis=0), axis=1)
+        assert np.allclose(steps, CA_CA_DISTANCE, atol=1e-6)
+
+    def test_compactness_reduces_radius(self):
+        spread = synthetic_backbone(120, seed=7, compactness=0.0)
+        compact = synthetic_backbone(120, seed=7, compactness=0.8)
+
+        def radius(coords):
+            deltas = coords - coords.mean(axis=0)
+            return np.sqrt((deltas ** 2).sum(axis=1).mean())
+
+        assert radius(compact) < radius(spread)
+
+    def test_validation(self):
+        with pytest.raises(StructureError):
+            synthetic_backbone(0, seed=1)
+        with pytest.raises(StructureError):
+            synthetic_backbone(10, seed=1, compactness=1.5)
+
+
+class TestChain:
+    def test_coordinate_sequence_length_mismatch(self):
+        with pytest.raises(StructureError):
+            Chain(
+                sequence=ProteinSequence(residues="ACD", chain_id="A"),
+                coordinates=np.zeros((4, 3)),
+            )
+
+    def test_bad_coordinate_shape(self):
+        with pytest.raises(StructureError):
+            Chain(
+                sequence=ProteinSequence(residues="ACD", chain_id="A"),
+                coordinates=np.zeros((3, 2)),
+            )
+
+    def test_centroid_and_radius(self):
+        chain = _chain("ACDEFGHIKL", "A", seed=2)
+        assert chain.centroid().shape == (3,)
+        assert chain.radius_of_gyration() > 0
+
+    def test_with_sequence_same_length_only(self):
+        chain = _chain("ACDE", "A")
+        replaced = chain.with_sequence(ProteinSequence(residues="WWWW", chain_id="A"))
+        assert replaced.sequence.residues == "WWWW"
+        with pytest.raises(StructureError):
+            chain.with_sequence(ProteinSequence(residues="WW", chain_id="A"))
+
+
+class TestComplexStructure:
+    def test_distinct_chain_ids_required(self):
+        receptor = _chain("ACDE", "A")
+        peptide = _chain("EPEA", "A", seed=9)
+        with pytest.raises(StructureError):
+            ComplexStructure(name="x", receptor=receptor, peptide=peptide)
+
+    def test_backbone_quality_bounds(self):
+        complex_structure = _complex()
+        with pytest.raises(StructureError):
+            ComplexStructure(
+                name="x",
+                receptor=complex_structure.receptor,
+                peptide=complex_structure.peptide,
+                backbone_quality=1.5,
+            )
+
+    def test_interface_positions_non_empty(self):
+        complex_structure = _complex()
+        interface = complex_structure.interface_positions(cutoff=10.0)
+        assert interface
+        assert all(0 <= p < len(complex_structure.receptor) for p in interface)
+
+    def test_interchain_contacts_subset_of_interface(self):
+        complex_structure = _complex()
+        contacts = complex_structure.interchain_contacts(cutoff=8.0)
+        interface = set(complex_structure.interface_positions(cutoff=8.0))
+        assert {i for i, _ in contacts} <= interface
+
+    def test_designable_positions_validated(self):
+        complex_structure = _complex()
+        with pytest.raises(StructureError):
+            ComplexStructure(
+                name="x",
+                receptor=complex_structure.receptor,
+                peptide=complex_structure.peptide,
+                designable_positions=(10_000,),
+            )
+
+    def test_with_receptor_sequence(self):
+        complex_structure = _complex()
+        new_sequence = ProteinSequence(
+            residues="W" * len(complex_structure.receptor), chain_id="A"
+        )
+        replaced = complex_structure.with_receptor_sequence(new_sequence)
+        assert replaced.receptor.sequence.residues == new_sequence.residues
+        assert replaced.name == complex_structure.name
+
+    def test_with_backbone_quality_clips(self):
+        complex_structure = _complex()
+        assert complex_structure.with_backbone_quality(2.0).backbone_quality == 1.0
+        assert complex_structure.with_backbone_quality(-1.0).backbone_quality == 0.0
+
+    def test_with_metadata_merges(self):
+        complex_structure = _complex().with_metadata(cycle=1)
+        again = complex_structure.with_metadata(parent="x")
+        assert again.metadata["cycle"] == 1 and again.metadata["parent"] == "x"
+
+    def test_effective_designable_falls_back_to_interface(self):
+        complex_structure = _complex()
+        assert complex_structure.effective_designable_positions() == \
+            complex_structure.interface_positions(10.0)
+
+    def test_min_interchain_distance_positive(self):
+        assert _complex().min_interchain_distance() > 0
+
+
+class TestPdbIO:
+    def test_round_trip_preserves_sequences_and_quality(self):
+        complex_structure = _complex().with_backbone_quality(0.42)
+        parsed = parse_pdb(format_pdb(complex_structure))
+        assert parsed.receptor.sequence.residues == complex_structure.receptor.sequence.residues
+        assert parsed.peptide.sequence.residues == "EPEA"
+        assert parsed.backbone_quality == pytest.approx(0.42, abs=1e-6)
+
+    def test_round_trip_preserves_coordinates(self):
+        complex_structure = _complex()
+        parsed = parse_pdb(format_pdb(complex_structure))
+        assert np.allclose(
+            parsed.receptor.coordinates, complex_structure.receptor.coordinates, atol=1e-3
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        complex_structure = _complex()
+        path = write_pdb(complex_structure, tmp_path / "model.pdb")
+        loaded = read_pdb(path)
+        assert loaded.peptide.sequence.residues == "EPEA"
+
+    def test_single_chain_rejected(self):
+        text = "\n".join(
+            line for line in format_pdb(_complex()).splitlines() if " B" not in line
+        )
+        with pytest.raises(StructureError):
+            parse_pdb(text)
+
+    def test_malformed_atom_rejected(self):
+        bad = format_pdb(_complex()).replace("ALA", "XXX", 1)
+        with pytest.raises(StructureError):
+            parse_pdb(bad)

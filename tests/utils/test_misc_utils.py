@@ -1,0 +1,151 @@
+"""Tests for serialization, logging and timing utilities."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import EventLog, get_logger
+from repro.utils.serialization import dump_json, load_json, to_jsonable
+from repro.utils.timer import Stopwatch
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclasses.dataclass
+class Point:
+    x: float
+    y: float
+
+
+class TestToJsonable:
+    def test_passthrough_builtins(self):
+        assert to_jsonable({"a": 1, "b": [1.5, "x", None, True]}) == {
+            "a": 1,
+            "b": [1.5, "x", None, True],
+        }
+
+    def test_numpy_scalars_and_arrays(self):
+        out = to_jsonable({"s": np.float64(2.5), "a": np.arange(3)})
+        assert out == {"s": 2.5, "a": [0, 1, 2]}
+
+    def test_enum(self):
+        assert to_jsonable(Color.RED) == "red"
+
+    def test_dataclass(self):
+        assert to_jsonable(Point(1.0, 2.0)) == {"x": 1.0, "y": 2.0}
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({1, 2, 3})) == [1, 2, 3]
+
+    def test_as_dict_protocol(self):
+        class WithAsDict:
+            def as_dict(self):
+                return {"k": 1}
+
+        assert to_jsonable(WithAsDict()) == {"k": 1}
+
+    def test_unconvertible_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestDumpLoadJson:
+    def test_round_trip(self, tmp_path):
+        payload = {"values": [1, 2, 3], "nested": {"x": 1.5}}
+        path = dump_json(payload, tmp_path / "out" / "data.json")
+        assert path.exists()
+        assert load_json(path) == payload
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(1.0, "agent", "task_started", uid="t1")
+        log.append(2.0, "agent", "task_completed", uid="t1")
+        assert len(log) == 2
+
+    def test_filter_by_event(self):
+        log = EventLog()
+        log.append(1.0, "agent", "a")
+        log.append(2.0, "coordinator", "b")
+        log.append(3.0, "agent", "a")
+        assert len(log.records(event="a")) == 2
+        assert len(log.records(source="coordinator")) == 1
+
+    def test_last(self):
+        log = EventLog()
+        assert log.last() is None
+        log.append(1.0, "x", "alpha")
+        log.append(2.0, "x", "beta")
+        assert log.last().event == "beta"
+        assert log.last("alpha").time == 1.0
+        assert log.last("missing") is None
+
+    def test_clear(self):
+        log = EventLog()
+        log.append(0.0, "x", "e")
+        log.clear()
+        assert len(log) == 0
+
+    def test_data_payload_preserved(self):
+        log = EventLog()
+        record = log.append(5.0, "agent", "task", uid="t9", cores=4)
+        assert record.data == {"uid": "t9", "cores": 4}
+
+
+class TestGetLogger:
+    def test_idempotent_handlers(self):
+        first = get_logger("repro.test.logger")
+        second = get_logger("repro.test.logger")
+        assert first is second
+        assert len(first.handlers) == 1
+
+
+class TestStopwatch:
+    def test_measures_positive_time(self):
+        watch = Stopwatch()
+        watch.start("work")
+        time.sleep(0.01)
+        elapsed = watch.stop("work")
+        assert elapsed > 0
+        assert watch.total("work") == pytest.approx(elapsed)
+
+    def test_accumulates_across_laps(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            watch.start("lap")
+            watch.stop("lap")
+        assert len(watch.laps("lap")) == 3
+        assert watch.total("lap") >= 0
+
+    def test_context_manager(self):
+        watch = Stopwatch()
+        with watch.measure("ctx"):
+            pass
+        assert watch.total("ctx") >= 0
+        assert not watch.running("ctx")
+
+    def test_running_and_elapsed(self):
+        watch = Stopwatch()
+        assert watch.elapsed("x") is None
+        watch.start("x")
+        assert watch.running("x")
+        assert watch.elapsed("x") >= 0
+        watch.stop("x")
+
+    def test_stop_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().stop("never-started")
+
+    def test_report(self):
+        watch = Stopwatch()
+        watch.start("a")
+        watch.stop("a")
+        assert "a" in watch.report()
