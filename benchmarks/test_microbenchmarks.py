@@ -10,6 +10,7 @@ impractically slow.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.pipeline import Pipeline, PipelineConfig
@@ -21,6 +22,7 @@ from repro.hpc.scheduler import FifoScheduler, QueuedRequest
 from repro.protein.datasets import make_pdz_target
 from repro.protein.folding import SurrogateAlphaFold
 from repro.protein.mpnn import SurrogateProteinMPNN
+from repro.protein.scoring import ScoringFunction
 from repro.runtime.durations import DurationModel
 from repro.runtime.states import TaskState
 from repro.runtime.task import Task
@@ -56,14 +58,14 @@ def test_scheduler_placement_throughput(benchmark):
             scheduler.submit(
                 QueuedRequest(f"task-{index}", ResourceRequest(cpu_cores=1), 0.0)
             )
+        # Every batch's allocations are released immediately below, so the
+        # platform always has capacity; an empty batch therefore means no
+        # forward progress is possible — break and let the count assertion
+        # fail loudly instead of spinning or double-releasing.
         while scheduler.queue_length:
             batch = scheduler.try_place()
             if not batch:
-                for _, allocation in placements:
-                    allocator.release(allocation)
-                placements = []
-                continue
-            placements = batch
+                break
             placed += len(batch)
             for _, allocation in batch:
                 allocator.release(allocation)
@@ -92,6 +94,51 @@ def test_landscape_fitness_speed(benchmark, micro_target):
     sequence = micro_target.complex.receptor.sequence
     value = benchmark(lambda: micro_target.landscape.fitness(sequence))
     assert 0.0 <= value <= 1.0
+
+
+def test_landscape_fitness_batch_speed(benchmark, micro_target):
+    """64 sequences through one fitness_batch call (vs 64 scalar calls)."""
+    landscape = micro_target.landscape
+    mpnn = SurrogateProteinMPNN(seed=3)
+    sequences = [
+        scored.sequence
+        for scored in mpnn.generate(
+            micro_target.complex, landscape, n_sequences=64, stream=("bench",)
+        )
+    ]
+    encoded = np.stack([sequence.encode() for sequence in sequences])
+
+    values = benchmark(lambda: landscape.fitness_batch(encoded))
+    assert values.shape == (64,)
+    assert np.all((values >= 0.0) & (values <= 1.0))
+
+
+def test_folding_predict_batch_speed(benchmark, micro_target):
+    """One GA-generation-sized population through predict_batch."""
+    landscape = micro_target.landscape
+    mpnn = SurrogateProteinMPNN(seed=4)
+    folding = SurrogateAlphaFold(seed=4)
+    sequences = [
+        scored.sequence
+        for scored in mpnn.generate(
+            micro_target.complex, landscape, n_sequences=24, stream=("bench",)
+        )
+    ]
+    streams = [(index,) for index in range(len(sequences))]
+
+    results = benchmark(
+        lambda: folding.predict_batch(
+            micro_target.complex, landscape, sequences, streams=streams
+        )
+    )
+    assert len(results) == 24
+
+
+def test_scoring_vectorized_speed(benchmark, micro_target):
+    """Vectorized coarse-energy scoring of one complex."""
+    scoring = ScoringFunction()
+    breakdown = benchmark(lambda: scoring.score(micro_target.complex))
+    assert np.isfinite(breakdown.total)
 
 
 def test_single_pipeline_inline_execution(benchmark, micro_target):

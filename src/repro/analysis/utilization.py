@@ -8,9 +8,7 @@ Table I and the binned utilization timelines plotted in Figs 4 and 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, Tuple
 
 from repro.exceptions import SimulationError
 from repro.hpc.profiling import ExecutionProfiler

@@ -17,7 +17,7 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.control import ControlConfig, ControlProtocol

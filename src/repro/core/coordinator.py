@@ -19,9 +19,8 @@ concurrently within the simulated platform's event loop.
 from __future__ import annotations
 
 import itertools
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.decision import SubPipelinePolicy, SubPipelineSpec
 from repro.core.pipeline import Pipeline, PipelineConfig, PipelineStatus

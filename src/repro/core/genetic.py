@@ -9,12 +9,17 @@ folding surrogate, select survivors — as a standalone optimizer.  It is used
 by the ``custom_pipeline`` example and by the ablation benchmarks, and it is
 the natural extension point for the paper's future-work scenarios (protease
 redesign with fixed catalytic residues, monomeric prediction).
+
+Evaluation is batch-first: each generation (initial population and offspring)
+is scored through one :meth:`SurrogateAlphaFold.predict_batch` call — a single
+vectorized landscape evaluation — while per-design RNG streams keep seeded
+runs identical to per-individual evaluation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -119,19 +124,34 @@ class GeneticOptimizer:
 
     # -- internals --------------------------------------------------------------- #
 
-    def _evaluate(
-        self, sequence: ProteinSequence, structure: ComplexStructure, generation: int, key: object
-    ) -> Individual:
-        result = self._folding.predict(
-            structure, self._target.landscape, sequence, stream=("ga", generation, key)
+    def _evaluate_batch(
+        self,
+        entries: Sequence[Tuple[ProteinSequence, ComplexStructure, object]],
+        generation: int,
+    ) -> List[Individual]:
+        """Evaluate ``(sequence, structure, stream-key)`` entries in one batch.
+
+        The whole population goes through a single
+        :meth:`SurrogateAlphaFold.predict_batch` call (one vectorized
+        landscape evaluation); per-entry RNG streams keep results identical to
+        the scalar path.
+        """
+        results = self._folding.predict_batch(
+            [structure for _, structure, _ in entries],
+            self._target.landscape,
+            [sequence for sequence, _, _ in entries],
+            streams=[("ga", generation, key) for _, _, key in entries],
         )
-        return Individual(
-            sequence=sequence,
-            metrics=result.metrics,
-            fitness=result.fitness,
-            structure=result.structure,
-            generation=generation,
-        )
+        return [
+            Individual(
+                sequence=sequence,
+                metrics=result.metrics,
+                fitness=result.fitness,
+                structure=result.structure,
+                generation=generation,
+            )
+            for (sequence, _, _), result in zip(entries, results)
+        ]
 
     def _initial_population(self) -> List[Individual]:
         complex_structure = self._target.complex
@@ -141,15 +161,20 @@ class GeneticOptimizer:
             n_sequences=self._config.population_size,
             stream=("ga-init",),
         )
-        return [
-            self._evaluate(scored.sequence, complex_structure, 0, index)
-            for index, scored in enumerate(candidates)
-        ]
+        return self._evaluate_batch(
+            [
+                (scored.sequence, complex_structure, index)
+                for index, scored in enumerate(candidates)
+            ],
+            generation=0,
+        )
 
     def _offspring(
         self, parents: Sequence[Individual], generation: int, rng: np.random.Generator
     ) -> List[Individual]:
-        children: List[Individual] = []
+        # First generate every child sequence (the GA RNG draw order is
+        # unchanged), then evaluate the whole generation in one batch.
+        entries: List[Tuple[ProteinSequence, ComplexStructure, object]] = []
         designable = list(self._target.complex.designable_positions)
         for parent_index, parent in enumerate(parents):
             for child_index in range(self._config.offspring_per_parent):
@@ -171,15 +196,10 @@ class GeneticOptimizer:
                         stream=("ga", generation, parent_index, child_index),
                     )[0]
                     child_sequence = scored.sequence
-                children.append(
-                    self._evaluate(
-                        child_sequence,
-                        parent.structure,
-                        generation,
-                        (parent_index, child_index),
-                    )
+                entries.append(
+                    (child_sequence, parent.structure, (parent_index, child_index))
                 )
-        return children
+        return self._evaluate_batch(entries, generation)
 
     @staticmethod
     def _select(

@@ -17,6 +17,11 @@ Stage map (paper numbering):
   CPU/I-O-bound MSA phase and GPU inference phase).
 * Stage 5 — :meth:`StageFactory.scoring` (metrics gathering / coarse energy).
 * Stage 6 — :meth:`StageFactory.compare` (accept/reject vs previous cycle).
+
+The stage payloads ride on the vectorized evaluation core: Stage 1 generation
+batches its partial scores, Stage 2 ranking is a stable vectorized argsort,
+and Stage 5 scoring gathers a precomputed pair-energy matrix over the contact
+mask — no per-residue Python on any hot path.
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ configuration; generic specs allow scaling experiments beyond the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.exceptions import ConfigurationError

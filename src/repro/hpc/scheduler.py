@@ -21,7 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.hpc.allocation import Allocation, NodeAllocator

@@ -18,12 +18,11 @@ in the dataset seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.exceptions import DatasetError
-from repro.protein.alphabet import AMINO_ACIDS
 from repro.protein.landscape import FitnessLandscape
 from repro.protein.sequence import ProteinSequence
 from repro.protein.structure import Chain, ComplexStructure, synthetic_backbone

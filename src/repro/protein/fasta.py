@@ -10,7 +10,7 @@ complex prediction inputs.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.exceptions import SequenceError
 from repro.protein.sequence import ProteinSequence

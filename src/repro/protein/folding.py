@@ -16,8 +16,8 @@ noisier, degrading the classifier quality of the metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -145,6 +145,78 @@ class SurrogateAlphaFold:
             raise ProteinError("sequence length does not match the landscape")
 
         fitness = landscape.fitness(target_sequence)
+        return self._result_from_fitness(
+            complex_structure, target_sequence, fitness, stream
+        )
+
+    def predict_batch(
+        self,
+        complex_structures: Union[ComplexStructure, Sequence[ComplexStructure]],
+        landscape: FitnessLandscape,
+        sequences: Sequence[ProteinSequence],
+        *,
+        streams: Optional[Sequence[Sequence[object]]] = None,
+    ) -> List[FoldingResult]:
+        """Predict a whole population of designs in one landscape evaluation.
+
+        The latent fitness of every design is computed with a single
+        :meth:`FitnessLandscape.fitness_batch` call and the metric means are
+        derived with vectorized arithmetic; each design's metric *noise* is
+        still drawn from its own named RNG stream, so every returned result
+        matches the corresponding scalar :meth:`predict` call (identical RNG
+        draws; metric values agree to float rounding).
+
+        Parameters
+        ----------
+        complex_structures:
+            Either one complex shared by the whole batch or one complex per
+            design (the genetic optimizer evaluates children against their
+            parent's structure).
+        landscape:
+            The target's fitness landscape.
+        sequences:
+            Receptor sequences to evaluate, one per design.
+        streams:
+            Optional per-design RNG stream keys, aligned with ``sequences``.
+        """
+        sequences = list(sequences)
+        if isinstance(complex_structures, ComplexStructure):
+            structures: List[ComplexStructure] = [complex_structures] * len(sequences)
+        else:
+            structures = list(complex_structures)
+        if len(structures) != len(sequences):
+            raise ConfigurationError(
+                "predict_batch needs one complex per sequence (or a single "
+                "complex shared by the batch)"
+            )
+        if streams is None:
+            stream_list: List[Sequence[object]] = [()] * len(sequences)
+        else:
+            stream_list = list(streams)
+            if len(stream_list) != len(sequences):
+                raise ConfigurationError(
+                    "predict_batch needs one stream per sequence"
+                )
+        for sequence in sequences:
+            if len(sequence) != landscape.receptor_length:
+                raise ProteinError("sequence length does not match the landscape")
+
+        fitness_values = landscape.fitness_batch(sequences)
+        return [
+            self._result_from_fitness(structure, sequence, float(fitness), stream)
+            for structure, sequence, fitness, stream in zip(
+                structures, sequences, fitness_values, stream_list
+            )
+        ]
+
+    def _result_from_fitness(
+        self,
+        complex_structure: ComplexStructure,
+        target_sequence: ProteinSequence,
+        fitness: float,
+        stream: Sequence[object],
+    ) -> FoldingResult:
+        """Convert a latent fitness into noisy metrics and a refined complex."""
         rng = spawn_rng(
             self._seed,
             "folding",
@@ -166,32 +238,43 @@ class SurrogateAlphaFold:
         best_model = int(np.argmax(ptm_draws))
         ptm = float(ptm_draws[best_model])
 
-        plddt = float(
-            np.clip(
-                55.0 + 42.0 * fitness + rng.normal(scale=self._config.plddt_noise * factor),
+        plddt = min(
+            max(
+                55.0 + 42.0 * fitness + float(rng.normal(scale=self._config.plddt_noise * factor)),
                 30.0,
-                98.5,
-            )
+            ),
+            98.5,
         )
-        interchain_pae = float(
-            np.clip(
-                22.0 - 16.0 * fitness + rng.normal(scale=self._config.pae_noise * factor),
+        interchain_pae = min(
+            max(
+                22.0 - 16.0 * fitness + float(rng.normal(scale=self._config.pae_noise * factor)),
                 1.5,
-                31.5,
-            )
+            ),
+            31.5,
         )
 
         metrics = QualityMetrics(plddt=plddt, ptm=ptm, interchain_pae=interchain_pae)
-        refined = (
-            complex_structure.with_receptor_sequence(
-                ProteinSequence(
-                    residues=target_sequence.residues,
-                    chain_id=complex_structure.receptor.chain_id,
-                    name=target_sequence.name,
-                )
+        receptor_chain_id = complex_structure.receptor.chain_id
+        if target_sequence.chain_id == receptor_chain_id:
+            refined_sequence = target_sequence
+        else:
+            refined_sequence = ProteinSequence(
+                residues=target_sequence.residues,
+                chain_id=receptor_chain_id,
+                name=target_sequence.name,
             )
-            .with_backbone_quality(fitness)
-            .with_metadata(last_plddt=plddt, last_ptm=ptm, last_pae=interchain_pae)
+        # One dataclasses.replace instead of chaining with_receptor_sequence /
+        # with_backbone_quality / with_metadata: the complex is validated once.
+        refined = replace(
+            complex_structure,
+            receptor=complex_structure.receptor.with_sequence(refined_sequence),
+            backbone_quality=min(max(float(fitness), 0.0), 1.0),
+            metadata={
+                **complex_structure.metadata,
+                "last_plddt": plddt,
+                "last_ptm": ptm,
+                "last_pae": interchain_pae,
+            },
         )
         return FoldingResult(
             metrics=metrics,

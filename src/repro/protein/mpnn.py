@@ -16,6 +16,13 @@ the IMPRESS protocol relies on:
 3. **User-parameterisable generation** — number of sequences, sampling
    temperature, fixed positions (the future-work protease use case fixes
    catalytic residues) and which chain to design.
+
+Generation is vectorized: the softmax sampling profile (and its CDF) over all
+designable positions is built once per call rather than per position per
+design, each design's mutations are applied in one sequence construction, and
+the surrogate log-likelihoods of all designs are computed with a single
+batched partial-score evaluation.  The RNG draw order matches the historical
+scalar implementation, so seeded outputs are unchanged.
 """
 
 from __future__ import annotations
@@ -148,38 +155,58 @@ class SurrogateProteinMPNN:
             1.0 + self._config.backbone_sharpening * complex_structure.backbone_quality
         ) / self._config.temperature
 
-        results: List[ScoredSequence] = []
+        # Precompute the sampling profile for every designable position once
+        # per call: softmax of the additive term at inverse temperature beta,
+        # stored as a CDF matrix so per-position categorical draws reduce to
+        # one vectorized searchsorted.  Row order follows the landscape's
+        # designable positions.
+        profiles = landscape.additive_matrix()  # (n_designable, 20)
+        logits = beta * (profiles - profiles.max(axis=1, keepdims=True))
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        cdf = probabilities.cumsum(axis=1)
+        cdf /= cdf[:, -1:]
+        local_row = {
+            position: row
+            for row, position in enumerate(landscape.designable_positions)
+        }
+
+        designable_array = np.asarray(designable, dtype=np.int64)
+        sequences: List[ProteinSequence] = []
+        mutation_counts: List[int] = []
+        noises: List[float] = []
         for design_index in range(count):
             n_mutations = max(
                 1,
                 int(rng.binomial(len(designable), self._config.mutation_rate)),
             )
             positions = rng.choice(
-                np.array(designable), size=min(n_mutations, len(designable)), replace=False
+                designable_array, size=min(n_mutations, len(designable)), replace=False
             )
-            new_sequence = current
-            for position in positions:
-                profile = landscape.additive_profile(int(position))
-                logits = beta * (profile - profile.max())
-                probabilities = np.exp(logits)
-                probabilities /= probabilities.sum()
-                residue_index = int(rng.choice(_N_AA, p=probabilities))
-                new_sequence = new_sequence.with_substitution(
-                    int(position), AMINO_ACIDS[residue_index]
-                )
+            rows = np.array([local_row[int(p)] for p in positions], dtype=np.int64)
+            draws = rng.random(len(positions))
+            residue_indices = (cdf[rows] <= draws[:, None]).sum(axis=1)
+            new_sequence = current.with_substitutions(
+                (int(position), AMINO_ACIDS[int(residue_index)])
+                for position, residue_index in zip(positions, residue_indices)
+            )
+            noises.append(float(rng.normal(scale=self._config.score_noise)))
+            mutation_counts.append(len(positions))
+            sequences.append(new_sequence)
 
-            partial = landscape.partial_score(new_sequence)
-            noise = rng.normal(scale=self._config.score_noise)
-            log_likelihood = float(partial + noise)
+        partials = landscape.partial_score_batch(sequences)
+        backbone_quality = float(complex_structure.backbone_quality)
+        results: List[ScoredSequence] = []
+        for design_index, new_sequence in enumerate(sequences):
             name = f"{complex_structure.name}_design_{design_index:03d}"
             results.append(
                 ScoredSequence(
                     sequence=new_sequence.renamed(name),
-                    log_likelihood=log_likelihood,
+                    log_likelihood=float(partials[design_index] + noises[design_index]),
                     generator="surrogate-mpnn",
                     metadata={
-                        "n_mutations": float(len(positions)),
-                        "backbone_quality": float(complex_structure.backbone_quality),
+                        "n_mutations": float(mutation_counts[design_index]),
+                        "backbone_quality": backbone_quality,
                     },
                 )
             )

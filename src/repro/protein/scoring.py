@@ -12,12 +12,12 @@ the paper (and here, by default) is taken on the AlphaFold metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.protein.alphabet import AA_TO_INDEX, CHARGE, HYDROPHOBICITY
+from repro.protein.alphabet import AA_TO_INDEX, AMINO_ACIDS, CHARGE, HYDROPHOBICITY
 from repro.protein.structure import ComplexStructure
 
 __all__ = ["EnergyBreakdown", "ScoringFunction"]
@@ -74,43 +74,53 @@ class ScoringFunction:
         self._clash_weight = clash_weight
         self._compactness_weight = compactness_weight
 
+        # Precompute the full 20x20 residue pair-energy matrix once, so
+        # score() is an encoded-sequence gather instead of a Python loop with
+        # dict lookups per contact pair.
+        hydrophobicity = np.array([HYDROPHOBICITY[aa] for aa in AMINO_ACIDS])
+        charge = np.array([CHARGE[aa] for aa in AMINO_ACIDS])
+        hydrophobic = hydrophobicity > 1.0
+        charge_product = charge[:, None] * charge[None, :]
+        pair_matrix = np.zeros((len(AMINO_ACIDS), len(AMINO_ACIDS)))
+        pair_matrix -= 1.0 * (hydrophobic[:, None] & hydrophobic[None, :])
+        pair_matrix -= 1.5 * (charge_product < 0)
+        pair_matrix += 1.0 * (charge_product > 0)
+        self._pair_matrix = pair_matrix
+
     def pair_energy(self, residue_a: str, residue_b: str) -> float:
         """Compatibility energy of two contacting residues (negative = favourable).
 
         Hydrophobic pairs and oppositely charged pairs are favourable;
         like-charged pairs are penalised.  Values are in arbitrary units.
         """
-        if residue_a not in AA_TO_INDEX or residue_b not in AA_TO_INDEX:
-            raise ConfigurationError(f"unknown residues {residue_a!r}/{residue_b!r}")
-        hydrophobic = (
-            HYDROPHOBICITY[residue_a] > 1.0 and HYDROPHOBICITY[residue_b] > 1.0
-        )
-        charge_product = CHARGE[residue_a] * CHARGE[residue_b]
-        energy = 0.0
-        if hydrophobic:
-            energy -= 1.0
-        if charge_product < 0:
-            energy -= 1.5
-        elif charge_product > 0:
-            energy += 1.0
-        return energy
+        try:
+            index_a = AA_TO_INDEX[residue_a]
+            index_b = AA_TO_INDEX[residue_b]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown residues {residue_a!r}/{residue_b!r}"
+            ) from None
+        return float(self._pair_matrix[index_a, index_b])
 
     def score(self, complex_structure: ComplexStructure) -> EnergyBreakdown:
-        """Score a complex; lower total energy is better."""
+        """Score a complex; lower total energy is better.
+
+        Vectorized: the contact energy is a gather of the precomputed pair
+        matrix over the contact mask — no per-pair Python.
+        """
         receptor = complex_structure.receptor
         peptide = complex_structure.peptide
         deltas = receptor.coordinates[:, None, :] - peptide.coordinates[None, :, :]
         distances = np.sqrt((deltas ** 2).sum(axis=2))
 
-        contact_energy = 0.0
-        clash_count = 0
-        contact_pairs = np.argwhere(distances < self._contact_cutoff)
-        for i, j in contact_pairs:
-            residue_a = receptor.sequence.residues[int(i)]
-            residue_b = peptide.sequence.residues[int(j)]
-            contact_energy += self.pair_energy(residue_a, residue_b)
-            if distances[i, j] < self._clash_cutoff:
-                clash_count += 1
+        contact_mask = distances < self._contact_cutoff
+        pair_energies = self._pair_matrix[
+            receptor.sequence.encode()[:, None], peptide.sequence.encode()[None, :]
+        ]
+        contact_energy = float(pair_energies[contact_mask].sum())
+        # Clash pairs are a subset of contact pairs (the constructor enforces
+        # clash_cutoff < contact_cutoff), so a plain count suffices.
+        clash_count = int((distances < self._clash_cutoff).sum())
 
         compactness = receptor.radius_of_gyration() / max(1.0, len(receptor) ** (1.0 / 3.0))
 

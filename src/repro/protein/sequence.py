@@ -59,6 +59,19 @@ class ProteinSequence:
 
     # -- operations ---------------------------------------------------------- #
 
+    def _trusted_copy(self, residues: str, name: str) -> "ProteinSequence":
+        """Build a copy without re-running O(L) residue validation.
+
+        Only for internal use on residue strings already proven valid (every
+        mutation helper validates the substituted residues individually), so
+        skipping the per-residue scan preserves the class invariant.
+        """
+        copy = object.__new__(ProteinSequence)
+        object.__setattr__(copy, "residues", residues)
+        object.__setattr__(copy, "chain_id", self.chain_id)
+        object.__setattr__(copy, "name", name)
+        return copy
+
     def with_substitution(self, position: int, residue: str) -> "ProteinSequence":
         """Return a copy with ``position`` replaced by ``residue``.
 
@@ -74,20 +87,51 @@ class ProteinSequence:
         if residue not in AA_TO_INDEX:
             raise SequenceError(f"invalid residue {residue!r}")
         residues = self.residues[:position] + residue + self.residues[position + 1:]
-        return ProteinSequence(residues=residues, chain_id=self.chain_id, name=self.name)
+        copy = self._trusted_copy(residues, self.name)
+        self._propagate_encoding(copy, {position: residue})
+        return copy
 
     def with_substitutions(
         self, substitutions: Dict[int, str] | Iterable[Tuple[int, str]]
     ) -> "ProteinSequence":
-        """Apply several substitutions at once (later entries win on conflict)."""
+        """Apply several substitutions at once (later entries win on conflict).
+
+        Builds the mutated residue string in a single pass, so applying ``k``
+        substitutions costs one sequence construction instead of ``k``.
+        """
         if isinstance(substitutions, dict):
-            items = substitutions.items()
+            items = list(substitutions.items())
         else:
-            items = substitutions
-        seq = self
+            items = list(substitutions)
+        if not items:
+            return self
+        residues = list(self.residues)
         for position, residue in items:
-            seq = seq.with_substitution(position, residue)
-        return seq
+            if not 0 <= position < len(residues):
+                raise SequenceError(
+                    f"position {position} out of range for length {len(residues)}"
+                )
+            if residue not in AA_TO_INDEX:
+                raise SequenceError(f"invalid residue {residue!r}")
+            residues[int(position)] = residue
+        copy = self._trusted_copy("".join(residues), self.name)
+        self._propagate_encoding(
+            copy, {int(position): residue for position, residue in items}
+        )
+        return copy
+
+    def _propagate_encoding(
+        self, copy: "ProteinSequence", edits: Dict[int, str]
+    ) -> None:
+        """Derive the copy's cached encoding from this one's, if present."""
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            return
+        encoded = cached.copy()
+        for position, residue in edits.items():
+            encoded[position] = AA_TO_INDEX[residue]
+        encoded.flags.writeable = False
+        object.__setattr__(copy, "_encoded", encoded)
 
     def hamming_distance(self, other: "ProteinSequence") -> int:
         """Number of positions at which two equal-length sequences differ."""
@@ -114,12 +158,22 @@ class ProteinSequence:
         ]
 
     def encode(self) -> np.ndarray:
-        """Integer encoding (indices into :data:`AMINO_ACIDS`), shape ``(L,)``."""
-        return np.fromiter(
-            (AA_TO_INDEX[residue] for residue in self.residues),
-            dtype=np.int64,
-            count=len(self.residues),
-        )
+        """Integer encoding (indices into :data:`AMINO_ACIDS`), shape ``(L,)``.
+
+        The encoding is computed once and memoised on the (immutable)
+        sequence; the returned array is marked read-only because it is shared
+        between callers — ``.copy()`` it before mutating.
+        """
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            cached = np.fromiter(
+                (AA_TO_INDEX[residue] for residue in self.residues),
+                dtype=np.int64,
+                count=len(self.residues),
+            )
+            cached.flags.writeable = False
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     def composition(self) -> Dict[str, float]:
         """Fraction of each amino acid present in the sequence."""
@@ -131,8 +185,12 @@ class ProteinSequence:
         }
 
     def renamed(self, name: str) -> "ProteinSequence":
-        """Copy with a different display name."""
-        return ProteinSequence(residues=self.residues, chain_id=self.chain_id, name=name)
+        """Copy with a different display name (shares the cached encoding)."""
+        copy = self._trusted_copy(self.residues, name)
+        cached = getattr(self, "_encoded", None)
+        if cached is not None:
+            object.__setattr__(copy, "_encoded", cached)
+        return copy
 
 
 @dataclass(frozen=True)
@@ -154,7 +212,14 @@ class ScoredSequence:
 
     @staticmethod
     def rank(candidates: Sequence["ScoredSequence"]) -> List["ScoredSequence"]:
-        """Return candidates sorted by decreasing log-likelihood (stable)."""
-        return sorted(
-            candidates, key=lambda scored: scored.log_likelihood, reverse=True
-        )
+        """Return candidates sorted by decreasing log-likelihood (stable).
+
+        Ranks via a vectorized stable argsort over the score array; ties keep
+        their original order, matching ``sorted(..., reverse=True)``.
+        """
+        candidates = list(candidates)
+        if len(candidates) < 2:
+            return candidates
+        scores = np.array([scored.log_likelihood for scored in candidates])
+        order = np.argsort(-scores, kind="stable")
+        return [candidates[int(index)] for index in order]

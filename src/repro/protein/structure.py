@@ -12,7 +12,7 @@ ProteinMPNN round).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -157,12 +157,13 @@ class ComplexStructure:
         if not 0.0 <= self.backbone_quality <= 1.0:
             raise StructureError("backbone_quality must lie in [0, 1]")
         positions = tuple(sorted(set(int(p) for p in self.designable_positions)))
-        for position in positions:
-            if not 0 <= position < len(self.receptor):
-                raise StructureError(
-                    f"designable position {position} outside receptor length "
-                    f"{len(self.receptor)}"
-                )
+        # Positions are sorted, so bounds-checking the extremes covers them all.
+        if positions and (positions[0] < 0 or positions[-1] >= len(self.receptor)):
+            offending = positions[0] if positions[0] < 0 else positions[-1]
+            raise StructureError(
+                f"designable position {offending} outside receptor length "
+                f"{len(self.receptor)}"
+            )
         object.__setattr__(self, "designable_positions", positions)
 
     # -- geometry -------------------------------------------------------------- #

@@ -11,7 +11,7 @@ node, same duration model, same profiler).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.exceptions import TaskError
 from repro.hpc.platform import ComputePlatform

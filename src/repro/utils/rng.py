@@ -15,11 +15,30 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from functools import lru_cache
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
 __all__ = ["derive_seed", "spawn_rng", "RNGRegistry"]
+
+
+@lru_cache(maxsize=65536)
+def _hash_key_reprs(root_seed: int, key_reprs: Tuple[str, ...]) -> int:
+    """Memoised BLAKE2b hash of a stream name.
+
+    Campaign-scale runs spawn the same streams (same pipeline uid, cycle,
+    sequence...) over and over; caching on the already-``repr``-ed keys makes
+    repeat derivations a dict lookup instead of a fresh hash.  Keying on the
+    reprs (not the objects) keeps distinct-but-equal keys such as ``1`` and
+    ``True`` from colliding.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(root_seed).encode("utf-8"))
+    for key_repr in key_reprs:
+        h.update(b"\x1f")
+        h.update(key_repr.encode("utf-8"))
+    return int.from_bytes(h.digest(), "little") & ((1 << 63) - 1)
 
 
 def derive_seed(root_seed: int, *keys: object) -> int:
@@ -27,7 +46,8 @@ def derive_seed(root_seed: int, *keys: object) -> int:
 
     The derivation uses BLAKE2b over the decimal representation of the root
     seed and the ``repr`` of each key, truncated to 63 bits so the result is a
-    valid non-negative seed for :func:`numpy.random.default_rng`.
+    valid non-negative seed for :func:`numpy.random.default_rng`.  Repeated
+    derivations of the same stream name are served from an LRU cache.
 
     Parameters
     ----------
@@ -42,12 +62,7 @@ def derive_seed(root_seed: int, *keys: object) -> int:
     int
         A deterministic 63-bit seed.
     """
-    h = hashlib.blake2b(digest_size=8)
-    h.update(str(int(root_seed)).encode("utf-8"))
-    for key in keys:
-        h.update(b"\x1f")
-        h.update(repr(key).encode("utf-8"))
-    return int.from_bytes(h.digest(), "little") & ((1 << 63) - 1)
+    return _hash_key_reprs(int(root_seed), tuple(repr(key) for key in keys))
 
 
 def spawn_rng(root_seed: int, *keys: object) -> np.random.Generator:

@@ -1,0 +1,219 @@
+"""Scalar/batch equivalence of the vectorized evaluation core.
+
+The batch APIs (``fitness_batch``, ``partial_score_batch``, ``predict_batch``
+and the vectorized ``ScoringFunction.score``) are the hot paths of
+campaign-scale runs; the scalar entry points are kept as thin wrappers.
+These tests pin the contract: batch and scalar evaluation agree to within
+1e-9 on seeded inputs, per-design RNG streams make batched folding
+predictions match their scalar counterparts, and a seeded end-to-end
+``GeneticOptimizer.run()`` still produces the exact pre-vectorization result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.genetic import GeneticConfig, GeneticOptimizer
+from repro.protein.datasets import make_pdz_target
+from repro.protein.folding import SurrogateAlphaFold
+from repro.protein.mpnn import SurrogateProteinMPNN
+from repro.protein.scoring import ScoringFunction
+from repro.protein.sequence import ProteinSequence, ScoredSequence
+
+
+@pytest.fixture(scope="module")
+def equivalence_target():
+    return make_pdz_target("NHERF3", seed=11)
+
+
+@pytest.fixture(scope="module")
+def design_sequences(equivalence_target):
+    """A seeded pool of designed sequences exercising many mutations."""
+    mpnn = SurrogateProteinMPNN(seed=5)
+    scored = mpnn.generate(
+        equivalence_target.complex,
+        equivalence_target.landscape,
+        n_sequences=32,
+        stream=("equivalence",),
+    )
+    return [design.sequence for design in scored]
+
+
+class TestLandscapeBatchEquivalence:
+    def test_fitness_batch_matches_scalar(self, equivalence_target, design_sequences):
+        landscape = equivalence_target.landscape
+        batch = landscape.fitness_batch(design_sequences)
+        scalar = np.array([landscape.fitness(s) for s in design_sequences])
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-9)
+
+    def test_fitness_batch_accepts_encoded_matrix(
+        self, equivalence_target, design_sequences
+    ):
+        landscape = equivalence_target.landscape
+        encoded = np.stack([s.encode() for s in design_sequences])
+        from_encoded = landscape.fitness_batch(encoded)
+        from_sequences = landscape.fitness_batch(design_sequences)
+        np.testing.assert_array_equal(from_encoded, from_sequences)
+
+    def test_partial_score_batch_matches_scalar(
+        self, equivalence_target, design_sequences
+    ):
+        landscape = equivalence_target.landscape
+        batch = landscape.partial_score_batch(design_sequences)
+        scalar = np.array([landscape.partial_score(s) for s in design_sequences])
+        np.testing.assert_allclose(batch, scalar, rtol=0, atol=1e-9)
+
+    def test_empty_batch(self, equivalence_target):
+        landscape = equivalence_target.landscape
+        assert landscape.fitness_batch([]).shape == (0,)
+        assert landscape.partial_score_batch([]).shape == (0,)
+
+    def test_encoded_matrix_is_validated(self, equivalence_target):
+        from repro.exceptions import SequenceError
+
+        landscape = equivalence_target.landscape
+        length = landscape.receptor_length
+        with pytest.raises(SequenceError):
+            landscape.fitness_batch(np.full((2, length), -1, dtype=np.int64))
+        with pytest.raises(SequenceError):
+            landscape.fitness_batch(np.full((2, length), 20, dtype=np.int64))
+        with pytest.raises(SequenceError):
+            landscape.fitness_batch(np.zeros((2, length), dtype=float))
+        with pytest.raises(SequenceError):
+            landscape.fitness_batch(np.zeros((2, length + 1), dtype=np.int64))
+
+
+class TestFoldingBatchEquivalence:
+    def test_predict_batch_matches_scalar_predict(
+        self, equivalence_target, design_sequences
+    ):
+        folding = SurrogateAlphaFold(seed=11)
+        landscape = equivalence_target.landscape
+        streams = [(index,) for index in range(len(design_sequences))]
+        batch = folding.predict_batch(
+            equivalence_target.complex, landscape, design_sequences, streams=streams
+        )
+        for index, (sequence, result) in enumerate(zip(design_sequences, batch)):
+            scalar = folding.predict(
+                equivalence_target.complex, landscape, sequence, stream=(index,)
+            )
+            assert result.fitness == pytest.approx(scalar.fitness, abs=1e-9)
+            assert result.metrics.plddt == pytest.approx(scalar.metrics.plddt, abs=1e-9)
+            assert result.metrics.ptm == pytest.approx(scalar.metrics.ptm, abs=1e-9)
+            assert result.metrics.interchain_pae == pytest.approx(
+                scalar.metrics.interchain_pae, abs=1e-9
+            )
+            assert result.model_rank == scalar.model_rank
+            assert result.structure.backbone_quality == pytest.approx(
+                scalar.structure.backbone_quality, abs=1e-9
+            )
+
+    def test_predict_batch_per_design_structures(self, equivalence_target):
+        """One complex per design (the genetic optimizer's offspring path)."""
+        folding = SurrogateAlphaFold(seed=7)
+        landscape = equivalence_target.landscape
+        base = equivalence_target.complex
+        structures = [base.with_backbone_quality(q) for q in (0.2, 0.5, 0.8)]
+        sequences = [base.receptor.sequence] * 3
+        batch = folding.predict_batch(structures, landscape, sequences)
+        scalar = [
+            folding.predict(structure, landscape, sequence)
+            for structure, sequence in zip(structures, sequences)
+        ]
+        for batched, single in zip(batch, scalar):
+            assert batched.metrics.plddt == pytest.approx(
+                single.metrics.plddt, abs=1e-9
+            )
+
+
+class TestScoringVectorization:
+    def test_score_matches_naive_pair_loop(self, equivalence_target):
+        """The gather-based score equals a per-contact pair_energy loop."""
+        scoring = ScoringFunction()
+        complex_structure = equivalence_target.complex
+        receptor = complex_structure.receptor
+        peptide = complex_structure.peptide
+        deltas = receptor.coordinates[:, None, :] - peptide.coordinates[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=2))
+
+        naive_energy = 0.0
+        naive_clashes = 0
+        for i, j in np.argwhere(distances < 8.0):
+            naive_energy += scoring.pair_energy(
+                receptor.sequence.residues[int(i)], peptide.sequence.residues[int(j)]
+            )
+            if distances[i, j] < 3.0:
+                naive_clashes += 1
+
+        breakdown = scoring.score(complex_structure)
+        assert breakdown.contact_energy == pytest.approx(naive_energy, abs=1e-9)
+        assert breakdown.clash_penalty == pytest.approx(5.0 * naive_clashes, abs=1e-9)
+
+    def test_pair_energy_matches_matrix(self):
+        scoring = ScoringFunction()
+        assert scoring.pair_energy("I", "L") == -1.0
+        assert scoring.pair_energy("K", "E") == -1.5
+        assert scoring.pair_energy("K", "R") == 1.0
+        assert scoring.pair_energy("A", "S") == 0.0
+
+
+class TestRankVectorization:
+    def test_rank_matches_stable_sorted(self, design_sequences):
+        scored = [
+            ScoredSequence(sequence=sequence, log_likelihood=value)
+            for sequence, value in zip(
+                design_sequences, [0.3, -0.1, 0.3, 0.7, 0.0, -0.5, 0.3, 0.7]
+            )
+        ]
+        expected = sorted(scored, key=lambda s: s.log_likelihood, reverse=True)
+        assert ScoredSequence.rank(scored) == expected
+
+    def test_rank_trivial_inputs(self, design_sequences):
+        assert ScoredSequence.rank([]) == []
+        single = [ScoredSequence(sequence=design_sequences[0], log_likelihood=1.0)]
+        assert ScoredSequence.rank(single) == single
+
+
+class TestSequenceEncodingCache:
+    def test_encode_is_cached_and_read_only(self):
+        sequence = ProteinSequence(residues="ACDEFGHIKLMNPQRSTVWY", chain_id="A")
+        first = sequence.encode()
+        assert first is sequence.encode()
+        assert not first.flags.writeable
+
+    def test_mutated_copies_carry_correct_encoding(self):
+        sequence = ProteinSequence(residues="ACDEFGHIKL", chain_id="A")
+        sequence.encode()  # populate the cache so propagation kicks in
+        mutated = sequence.with_substitutions({0: "W", 3: "Y"})
+        assert mutated.residues == "WCDYFGHIKL"
+        expected = np.fromiter(
+            (list("ACDEFGHIKLMNPQRSTVWY").index(r) for r in mutated.residues),
+            dtype=np.int64,
+        )
+        np.testing.assert_array_equal(mutated.encode(), expected)
+
+    def test_renamed_shares_encoding(self):
+        sequence = ProteinSequence(residues="ACDEFGHIKL", chain_id="A")
+        encoded = sequence.encode()
+        assert sequence.renamed("other").encode() is encoded
+
+
+class TestGeneticEndToEndGolden:
+    def test_seeded_run_reproduces_prevectorization_result(self):
+        """Golden pinned from the pre-vectorization (seed) implementation.
+
+        The batch refactor preserves every RNG draw, so a seeded end-to-end
+        run must still produce the same best design (scores to 1e-9).
+        """
+        target = make_pdz_target("NHERF3", seed=11)
+        config = GeneticConfig(
+            population_size=4, offspring_per_parent=2, n_generations=2
+        )
+        best = GeneticOptimizer(target, config=config, seed=21).run()
+        assert best.sequence.residues == (
+            "DHTIDIGVVFATVEKRGRPDMGDRMLQFKFACLLAKDTFIMSSALLVNSPIFIEAREYHTI"
+            "ADKRVVSFIESQPYAYSPKSGEDDEQEKV"
+        )
+        assert best.composite == pytest.approx(0.7936619461966069, abs=1e-9)
+        assert best.fitness == pytest.approx(0.7555809389262016, abs=1e-9)
