@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import PAPER_SEED, print_banner, run_campaign
+from benchmarks.conftest import print_banner, run_campaign
 from repro.core.decision import AcceptancePolicy, SubPipelinePolicy
 
 

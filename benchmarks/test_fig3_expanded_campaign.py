@@ -17,8 +17,6 @@ Reproduced shape:
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import print_banner, run_campaign
 from repro.analysis.reporting import format_iteration_table, iteration_series
 from repro.core.decision import SubPipelinePolicy

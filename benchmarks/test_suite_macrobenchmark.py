@@ -1,0 +1,51 @@
+"""Suite-level macrobenchmark: campaign-matrix throughput, serial vs parallel.
+
+Where the microbenchmarks track single hot paths, this tracks the end-to-end
+throughput of the :class:`~repro.experiments.CampaignSuite` engine on a real
+scenario matrix — the four registered protocols x two seeds (8 campaigns)
+over the named PDZ targets.  The serial case is the baseline the parallel
+case's wall-clock speedup is measured against; on a single-core runner the
+process pool is expected to break even (minus pool overhead), on multi-core
+hardware it should approach min(n_workers, n_runs)x.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import PAPER_SEED, print_banner
+from repro.experiments import CampaignSuite, SweepSpec, TargetSpec
+
+#: 4 protocols x 2 seeds = 8 campaigns, two design cycles each.
+SUITE_SWEEP = SweepSpec(
+    protocols=("im-rp", "cont-v", "im-rp-random", "cont-v-ranked"),
+    seeds=(PAPER_SEED, PAPER_SEED + 1),
+    targets=TargetSpec(kind="named-pdz", seed=PAPER_SEED),
+    base={"n_cycles": 2, "n_sequences": 6},
+)
+
+
+def _run_suite(executor: str):
+    return CampaignSuite(SUITE_SWEEP, executor=executor, max_workers=4).run()
+
+
+def test_campaign_suite_serial(benchmark):
+    outcome = benchmark.pedantic(_run_suite, args=("serial",), rounds=1, iterations=1)
+    assert outcome.n_runs == SUITE_SWEEP.n_runs == 8
+    print_banner("Campaign suite — serial baseline (8 campaigns)")
+    print(
+        f"wall {outcome.wall_seconds:.2f}s, aggregate {outcome.total_run_seconds:.2f}s"
+    )
+
+
+def test_campaign_suite_process_pool(benchmark):
+    outcome = benchmark.pedantic(_run_suite, args=("process",), rounds=1, iterations=1)
+    assert outcome.n_runs == 8
+    # Determinism under fan-out: every protocol/seed cell produced a result
+    # with the expected identity.
+    for record in outcome.records:
+        assert record.result.protocol == record.spec.protocol
+        assert record.result.seed == record.spec.seed
+    print_banner("Campaign suite — process pool (8 campaigns, 4 workers)")
+    print(
+        f"wall {outcome.wall_seconds:.2f}s, aggregate {outcome.total_run_seconds:.2f}s, "
+        f"speedup-vs-aggregate {outcome.speedup:.2f}x"
+    )

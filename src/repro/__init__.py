@@ -29,6 +29,9 @@ Sub-packages
     surrogate ProteinMPNN/AlphaFold, datasets).
 ``repro.analysis``
     Utilization/makespan reports and the Table-I comparison.
+``repro.experiments``
+    Declarative sweeps (protocols x seeds x knobs) and the parallel
+    campaign-suite engine (``python -m repro.experiments``).
 """
 
 from repro.core.campaign import CampaignConfig, DesignCampaign
@@ -36,6 +39,13 @@ from repro.core.results import CampaignResult, compare_campaigns
 from repro.core.pipeline import Pipeline, PipelineConfig
 from repro.core.coordinator import CoordinatorConfig, PipelinesCoordinator
 from repro.core.control import ControlConfig, ControlProtocol
+from repro.core.protocols import (
+    ExecutionProtocol,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
+from repro.experiments import CampaignSuite, SuiteResult, SweepSpec, TargetSpec
 from repro.protein.datasets import (
     ALPHA_SYNUCLEIN_C4,
     ALPHA_SYNUCLEIN_C10,
@@ -60,6 +70,14 @@ __all__ = [
     "PipelinesCoordinator",
     "ControlConfig",
     "ControlProtocol",
+    "ExecutionProtocol",
+    "available_protocols",
+    "get_protocol",
+    "register_protocol",
+    "CampaignSuite",
+    "SuiteResult",
+    "SweepSpec",
+    "TargetSpec",
     "DesignTarget",
     "make_pdz_target",
     "named_pdz_targets",

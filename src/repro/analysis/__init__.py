@@ -14,9 +14,15 @@ paper reports:
 
 from repro.analysis.utilization import UtilizationReport, utilization_report
 from repro.analysis.makespan import MakespanReport, makespan_report
-from repro.analysis.comparison import table1, Table1Row
+from repro.analysis.comparison import (
+    ProtocolMatrixRow,
+    Table1Row,
+    protocol_matrix,
+    table1,
+)
 from repro.analysis.reporting import (
     format_iteration_table,
+    format_protocol_matrix,
     format_table1,
     format_utilization_table,
     iteration_series,
@@ -29,6 +35,9 @@ __all__ = [
     "makespan_report",
     "table1",
     "Table1Row",
+    "protocol_matrix",
+    "ProtocolMatrixRow",
+    "format_protocol_matrix",
     "format_iteration_table",
     "format_table1",
     "format_utilization_table",

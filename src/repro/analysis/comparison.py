@@ -1,21 +1,27 @@
-"""Table I: head-to-head comparison of CONT-V and IM-RP.
+"""Campaign comparisons: Table I and cross-protocol sweep matrices.
 
 :func:`table1` consumes the two campaign results and emits the rows of the
 paper's Table I — pipeline/sub-pipeline/structure/trajectory counts, CPU and
 GPU utilization percentages, execution time, and the three per-metric net
 deltas — plus the derived improvements quoted in the text (e.g. "+32.8%
 pLDDT net delta", higher consistency, more trajectories examined).
+
+:func:`protocol_matrix` generalises the comparison beyond two runs: it
+aggregates any number of campaign results (e.g. a
+:class:`~repro.experiments.suite.CampaignSuite` sweep over protocols × seeds)
+into one row per protocol with across-seed means and spreads.
 """
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.results import CampaignResult, compare_campaigns
 from repro.exceptions import CampaignError
 
-__all__ = ["Table1Row", "table1"]
+__all__ = ["Table1Row", "table1", "ProtocolMatrixRow", "protocol_matrix"]
 
 
 @dataclass(frozen=True)
@@ -89,3 +95,82 @@ def table1(control: CampaignResult, adaptive: CampaignResult) -> Dict[str, objec
         "adaptive_takes_longer_aggregate_time": rows[1].time_hours >= rows[0].time_hours,
     }
     return {"rows": rows, "advantages": advantages, "claims": claims}
+
+
+@dataclass(frozen=True)
+class ProtocolMatrixRow:
+    """Across-seed aggregate of every run of one protocol in a sweep."""
+
+    protocol: str
+    approach: str
+    n_runs: int
+    trajectories_mean: float
+    cpu_percent_mean: float
+    gpu_percent_mean: float
+    makespan_hours_mean: float
+    total_task_hours_mean: float
+    plddt_net_delta_pct_mean: float
+    ptm_net_delta_pct_mean: float
+    pae_net_delta_pct_mean: float
+    plddt_net_delta_pct_std: float
+
+    def as_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "approach": self.approach,
+            "n_runs": self.n_runs,
+            "trajectories_mean": self.trajectories_mean,
+            "cpu_percent_mean": self.cpu_percent_mean,
+            "gpu_percent_mean": self.gpu_percent_mean,
+            "makespan_hours_mean": self.makespan_hours_mean,
+            "total_task_hours_mean": self.total_task_hours_mean,
+            "plddt_net_delta_pct_mean": self.plddt_net_delta_pct_mean,
+            "ptm_net_delta_pct_mean": self.ptm_net_delta_pct_mean,
+            "pae_net_delta_pct_mean": self.pae_net_delta_pct_mean,
+            "plddt_net_delta_pct_std": self.plddt_net_delta_pct_std,
+        }
+
+
+def protocol_matrix(results: Sequence[CampaignResult]) -> List[ProtocolMatrixRow]:
+    """Aggregate sweep results into one row per protocol.
+
+    Results are grouped by their ``protocol`` key (falling back to the
+    ``approach`` label for results produced outside the registry) in first-seen
+    order; each row carries across-run means of the Table-I quantities plus
+    the across-run standard deviation of the pLDDT net delta (the sweep-level
+    consistency signal the paper's Fig 2 text argues about).
+    """
+    if not results:
+        raise CampaignError("protocol_matrix needs at least one campaign result")
+    groups: Dict[str, List[CampaignResult]] = {}
+    for result in results:
+        groups.setdefault(result.protocol or result.approach, []).append(result)
+
+    def _mean(values: List[float]) -> float:
+        return statistics.fmean(values)
+
+    rows: List[ProtocolMatrixRow] = []
+    for protocol, members in groups.items():
+        deltas = [member.net_deltas() for member in members]
+        plddt_deltas = [delta["plddt"] for delta in deltas]
+        rows.append(
+            ProtocolMatrixRow(
+                protocol=protocol,
+                approach=members[0].approach,
+                n_runs=len(members),
+                trajectories_mean=_mean([m.n_trajectories for m in members]),
+                cpu_percent_mean=_mean([100.0 * m.cpu_utilization for m in members]),
+                gpu_percent_mean=_mean([100.0 * m.gpu_utilization for m in members]),
+                makespan_hours_mean=_mean([m.makespan_hours for m in members]),
+                total_task_hours_mean=_mean([m.total_task_hours for m in members]),
+                plddt_net_delta_pct_mean=_mean(plddt_deltas),
+                ptm_net_delta_pct_mean=_mean([delta["ptm"] for delta in deltas]),
+                pae_net_delta_pct_mean=_mean(
+                    [delta["interchain_pae"] for delta in deltas]
+                ),
+                plddt_net_delta_pct_std=(
+                    statistics.stdev(plddt_deltas) if len(plddt_deltas) > 1 else 0.0
+                ),
+            )
+        )
+    return rows

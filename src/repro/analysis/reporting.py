@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from repro.analysis.comparison import Table1Row
+from repro.analysis.comparison import ProtocolMatrixRow, Table1Row
 from repro.analysis.utilization import UtilizationReport
 from repro.core.results import CampaignResult
 
@@ -17,6 +17,7 @@ __all__ = [
     "iteration_series",
     "format_iteration_table",
     "format_table1",
+    "format_protocol_matrix",
     "format_utilization_table",
 ]
 
@@ -79,6 +80,30 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
             f"{row.cpu_percent:>6.1f} | {row.gpu_percent:>6.1f} | {row.time_hours:>8.1f} | "
             f"{row.ptm_net_delta_pct:>7.1f} | {row.plddt_net_delta_pct:>8.1f} | "
             f"{row.pae_net_delta_pct:>7.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_protocol_matrix(rows: Sequence[ProtocolMatrixRow]) -> str:
+    """Fixed-width rendering of a cross-protocol sweep matrix.
+
+    One line per protocol with across-seed means (and the pLDDT net-delta
+    spread) — the sweep-level generalisation of Table I.
+    """
+    header = (
+        f"{'Protocol':<13} | {'Approach':<11} | {'Runs':>4} | {'Traj':>6} | "
+        f"{'CPU %':>6} | {'GPU %':>6} | {'Mkspn(h)':>8} | {'Task(h)':>8} | "
+        f"{'pTM Δ%':>7} | {'pLDDT Δ%':>8} | {'±σ':>6} | {'pAE Δ%':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.protocol:<13} | {row.approach:<11} | {row.n_runs:>4} | "
+            f"{row.trajectories_mean:>6.1f} | {row.cpu_percent_mean:>6.1f} | "
+            f"{row.gpu_percent_mean:>6.1f} | {row.makespan_hours_mean:>8.1f} | "
+            f"{row.total_task_hours_mean:>8.1f} | {row.ptm_net_delta_pct_mean:>7.1f} | "
+            f"{row.plddt_net_delta_pct_mean:>8.1f} | {row.plddt_net_delta_pct_std:>6.1f} | "
+            f"{row.pae_net_delta_pct_mean:>7.1f}"
         )
     return "\n".join(lines)
 

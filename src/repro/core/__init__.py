@@ -14,8 +14,10 @@ This package is the paper's primary contribution re-implemented:
   submission, monitoring, global quality view, adaptive sub-pipeline
   generation (IM-RP).
 * :mod:`repro.core.control` — the non-adaptive sequential control (CONT-V).
+* :mod:`repro.core.protocols` — the pluggable execution-protocol abstraction
+  and string-keyed registry ("im-rp", "cont-v", ablations, plugins).
 * :mod:`repro.core.campaign` — :class:`DesignCampaign`, the top-level public
-  API running either implementation end-to-end on a simulated platform.
+  API running any registered protocol end-to-end on a simulated platform.
 * :mod:`repro.core.results` — campaign results and Table-I-style summaries.
 * :mod:`repro.core.genetic` — the genetic-algorithm framing exposed for
   extension (population, selection, recombination).
@@ -31,6 +33,15 @@ from repro.core.decision import (
 )
 from repro.core.coordinator import CoordinatorConfig, PipelinesCoordinator
 from repro.core.control import ControlProtocol, ControlConfig
+from repro.core.protocols import (
+    ExecutionProtocol,
+    ProtocolContext,
+    ProtocolOutcome,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+    unregister_protocol,
+)
 from repro.core.campaign import CampaignConfig, DesignCampaign
 from repro.core.results import CampaignResult, PipelineRecord, compare_campaigns
 from repro.core.genetic import GeneticConfig, GeneticOptimizer, Individual
@@ -51,6 +62,13 @@ __all__ = [
     "PipelinesCoordinator",
     "ControlProtocol",
     "ControlConfig",
+    "ExecutionProtocol",
+    "ProtocolContext",
+    "ProtocolOutcome",
+    "available_protocols",
+    "get_protocol",
+    "register_protocol",
+    "unregister_protocol",
     "CampaignConfig",
     "DesignCampaign",
     "CampaignResult",

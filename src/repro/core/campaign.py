@@ -1,10 +1,14 @@
 """Top-level public API: :class:`DesignCampaign`.
 
-A design campaign runs one protocol (adaptive IM-RP or control CONT-V) over
-a set of design targets on a simulated HPC platform and returns a
+A design campaign runs one execution protocol over a set of design targets on
+a simulated HPC platform and returns a
 :class:`~repro.core.results.CampaignResult` with both the scientific and the
-computational outcomes.  This is the entry point used by the examples and
-the benchmark harness:
+computational outcomes.  The protocol (``"im-rp"``, ``"cont-v"`` or any other
+registered :class:`~repro.core.protocols.ExecutionProtocol`) is resolved
+through the protocol registry, so the campaign itself only builds the shared
+models and duration model, delegates execution, and aggregates the result.
+This is the entry point used by the examples, the experiments suite engine
+and the benchmark harness:
 
 >>> from repro.core.campaign import CampaignConfig, DesignCampaign
 >>> from repro.protein.datasets import named_pdz_targets
@@ -20,29 +24,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.control import ControlConfig, ControlProtocol
-from repro.core.coordinator import CoordinatorConfig, PipelinesCoordinator
 from repro.core.decision import AcceptancePolicy, SubPipelinePolicy
-from repro.core.pipeline import PipelineConfig
+from repro.core.protocols import (
+    ExecutionProtocol,
+    ProtocolContext,
+    ProtocolOutcome,
+    available_protocols,
+    get_protocol,
+)
 from repro.core.results import CampaignResult, PipelineRecord
 from repro.core.stages import StageFactory, StageModels
 from repro.exceptions import CampaignError
 from repro.hpc.platform import ComputePlatform
-from repro.hpc.resources import PlatformSpec, amarel_platform
+from repro.hpc.resources import PlatformSpec
+from repro.hpc.scheduler import available_schedulers
 from repro.protein.datasets import DesignTarget
-from repro.protein.folding import FoldingConfig, SurrogateAlphaFold
+from repro.protein.folding import MSA_MODES, FoldingConfig, SurrogateAlphaFold
 from repro.protein.metrics import QualityMetrics
 from repro.protein.mpnn import MPNNConfig, SurrogateProteinMPNN
 from repro.protein.scoring import ScoringFunction
-from repro.runtime.agent import AgentConfig
 from repro.runtime.durations import DurationModel
-from repro.runtime.pilot import PilotDescription
 from repro.runtime.session import Session
 from repro.utils.rng import derive_seed
 
 __all__ = ["CampaignConfig", "DesignCampaign"]
-
-_PROTOCOLS = ("im-rp", "cont-v")
 
 
 @dataclass(frozen=True)
@@ -52,8 +57,10 @@ class CampaignConfig:
     Attributes
     ----------
     protocol:
-        ``"im-rp"`` (adaptive, pilot runtime) or ``"cont-v"`` (control,
-        sequential execution).
+        Name of a registered execution protocol — ``"im-rp"`` (adaptive,
+        pilot runtime), ``"cont-v"`` (control, sequential execution), or any
+        other key in :func:`repro.core.protocols.available_protocols`.
+        Custom protocols must be registered before the config is built.
     n_cycles / n_sequences / max_retries:
         Protocol parameters (paper defaults: 4 / 10 / 10).
     seed:
@@ -61,7 +68,8 @@ class CampaignConfig:
     platform_spec:
         Simulated platform; defaults to one Amarel-like GPU node.
     scheduler_policy / backfill_window:
-        Agent placement policy for IM-RP ("fifo" or "backfill").
+        Agent placement policy for pilot-runtime protocols ("fifo" or
+        "backfill").
     max_in_flight_pipelines:
         Optional concurrency cap for the IM-RP coordinator (ablation knob).
     adaptivity_schedule:
@@ -94,9 +102,20 @@ class CampaignConfig:
     duration_speedup: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.protocol not in _PROTOCOLS:
+        protocols = available_protocols()
+        if self.protocol not in protocols:
             raise CampaignError(
-                f"protocol must be one of {_PROTOCOLS}, got {self.protocol!r}"
+                f"unknown protocol {self.protocol!r}; available: {list(protocols)}"
+            )
+        schedulers = available_schedulers()
+        if self.scheduler_policy not in schedulers:
+            raise CampaignError(
+                f"scheduler_policy must be one of {list(schedulers)}, "
+                f"got {self.scheduler_policy!r}"
+            )
+        if self.msa_mode not in MSA_MODES:
+            raise CampaignError(
+                f"msa_mode must be one of {list(MSA_MODES)}, got {self.msa_mode!r}"
             )
         if self.n_cycles < 1 or self.n_sequences < 1 or self.max_retries < 1:
             raise CampaignError("n_cycles, n_sequences and max_retries must be >= 1")
@@ -105,7 +124,12 @@ class CampaignConfig:
 
 
 class DesignCampaign:
-    """Runs one protocol over a set of design targets."""
+    """Runs one execution protocol over a set of design targets.
+
+    The campaign owns the shared *science* of a run — surrogate models, stage
+    factory and duration model, all seeded from the root seed — and delegates
+    *execution* to the protocol registered under ``config.protocol``.
+    """
 
     def __init__(
         self, targets: List[DesignTarget], config: Optional[CampaignConfig] = None
@@ -174,19 +198,27 @@ class DesignCampaign:
         if self._result is not None:
             return self._result
         baseline = self._baseline_metrics()
-        if self._config.protocol == "im-rp":
-            records = self._run_adaptive()
-        else:
-            records = self._run_control()
-        self._result = self._build_result(records, baseline)
+        protocol = get_protocol(self._config.protocol)
+        outcome = protocol.execute(self._protocol_context())
+        self._platform = outcome.platform
+        self._session = outcome.session
+        self._result = self._build_result(protocol, outcome, baseline)
         return self._result
+
+    def _protocol_context(self) -> ProtocolContext:
+        return ProtocolContext(
+            config=self._config,
+            targets=self._targets,
+            factory=self._factory,
+            durations=self._durations,
+        )
 
     def _baseline_metrics(self) -> Dict[str, QualityMetrics]:
         """Iteration-0 metrics: the folding surrogate applied to each native complex.
 
         These stand in for the AlphaFold assessment of the starting
         structures; they are computed outside the resource simulation because
-        both protocols share the same starting point and the paper's Table I
+        every protocol shares the same starting point and the paper's Table I
         compares design improvement against it.
         """
         baseline: Dict[str, QualityMetrics] = {}
@@ -197,64 +229,13 @@ class DesignCampaign:
             baseline[target.name] = result.metrics
         return baseline
 
-    def _pipeline_config(self) -> PipelineConfig:
-        return PipelineConfig(
-            n_cycles=self._config.n_cycles,
-            n_sequences=self._config.n_sequences,
-            max_retries=self._config.max_retries,
-            adaptive=True,
-            random_selection=False,
-            acceptance=self._config.acceptance,
-            adaptivity_schedule=self._config.adaptivity_schedule,
-            selection_seed=derive_seed(self._config.seed, "selection"),
-        )
-
-    def _run_adaptive(self) -> List[PipelineRecord]:
-        spec = self._config.platform_spec or amarel_platform(1)
-        agent_config = AgentConfig(
-            scheduler_policy=self._config.scheduler_policy,
-            backfill_window=self._config.backfill_window,
-        )
-        session = Session(
-            platform_spec=spec,
-            pilot_description=PilotDescription(agent_config=agent_config),
-            durations=self._durations,
-        )
-        self._session = session
-        self._platform = session.platform
-        coordinator = PipelinesCoordinator(
-            session,
-            self._factory,
-            CoordinatorConfig(
-                pipeline=self._pipeline_config(),
-                spawn_policy=self._config.spawn_policy,
-                max_in_flight_pipelines=self._config.max_in_flight_pipelines,
-            ),
-        )
-        coordinator.add_targets(self._targets)
-        records = coordinator.run()
-        session.close()
-        return records
-
-    def _run_control(self) -> List[PipelineRecord]:
-        spec = self._config.platform_spec or amarel_platform(1)
-        platform = ComputePlatform(spec)
-        self._platform = platform
-        control = ControlProtocol(
-            platform,
-            self._factory,
-            self._durations,
-            ControlConfig(
-                n_cycles=self._config.n_cycles,
-                n_sequences=self._config.n_sequences,
-                selection_seed=derive_seed(self._config.seed, "selection"),
-            ),
-        )
-        return control.run(self._targets)
-
     def _build_result(
-        self, records: List[PipelineRecord], baseline: Dict[str, QualityMetrics]
+        self,
+        protocol: ExecutionProtocol,
+        outcome: ProtocolOutcome,
+        baseline: Dict[str, QualityMetrics],
     ) -> CampaignResult:
+        records: List[PipelineRecord] = outcome.records
         profiler = self.platform.profiler
         makespan_seconds = profiler.makespan()
         total_task_seconds = sum(
@@ -262,7 +243,7 @@ class DesignCampaign:
         )
         scale = self._config.duration_speedup  # report modelled (uncompressed) hours
         return CampaignResult(
-            approach="IM-RP" if self._config.protocol == "im-rp" else "CONT-V",
+            approach=protocol.approach,
             targets=[target.name for target in self._targets],
             pipelines=records,
             baseline_metrics=baseline,
@@ -278,4 +259,5 @@ class DesignCampaign:
             },
             n_cycles=self._config.n_cycles,
             seed=self._config.seed,
+            protocol=protocol.name,
         )

@@ -18,6 +18,7 @@ concurrently within the simulated platform's event loop.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -246,15 +247,13 @@ class PipelinesCoordinator:
         self, parent: Pipeline, spec: SubPipelineSpec, root_uid: str
     ) -> Pipeline:
         uid = f"{parent.uid}.sub{next(self._sub_uid_counter):03d}"
-        base = self._config.pipeline
-        sub_config = PipelineConfig(
+        # Sub-pipelines inherit the root configuration except for their cycle
+        # budget; the adaptivity schedule is dropped because its length is
+        # tied to the root's n_cycles.
+        sub_config = dataclasses.replace(
+            self._config.pipeline,
             n_cycles=spec.n_cycles,
-            n_sequences=base.n_sequences,
-            max_retries=base.max_retries,
-            adaptive=base.adaptive,
-            random_selection=base.random_selection,
-            acceptance=base.acceptance,
-            selection_seed=base.selection_seed,
+            adaptivity_schedule=None,
         )
         starting_complex = (
             parent.current_complex if spec.start_from_best else parent.target.complex

@@ -1,0 +1,315 @@
+"""Pluggable execution protocols and the protocol registry.
+
+The paper's central object of study is the *execution protocol*: the same six
+design stages can be driven adaptively over the asynchronous pilot runtime
+(IM-RP) or sequentially without middleware (CONT-V).  This module makes the
+protocol a first-class, string-keyed abstraction so that
+:class:`~repro.core.campaign.DesignCampaign` stays a thin orchestrator and new
+protocols (ablations, schedulers, runtimes) plug in without touching it:
+
+>>> from repro.core.protocols import available_protocols
+>>> {"im-rp", "cont-v"} <= set(available_protocols())
+True
+
+Built-in protocols
+------------------
+``im-rp``
+    The paper's adaptive implementation: concurrent pipelines on the pilot
+    runtime, top-ranked selection, accept/reject gating, sub-pipeline spawning.
+``cont-v``
+    The paper's control: sequential middleware-free execution, random
+    selection, no adaptivity.
+``im-rp-random``
+    Ablation: the full pilot runtime and adaptive gating of IM-RP, but with
+    the control's *random* sequence selection — isolates how much of IM-RP's
+    quality gain comes from ranked selection versus the execution model.
+``cont-v-ranked``
+    Ablation: the control's sequential execution, but selecting the
+    *top-ranked* sequence — the mirror image of ``im-rp-random``.
+
+Custom protocols subclass :class:`ExecutionProtocol` and register through the
+:func:`register_protocol` class decorator; ``CampaignConfig`` validates its
+``protocol`` field against the registry at construction time, so plugins must
+be registered (imported) before configs referencing them are built.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple, Type
+
+from repro.core.control import ControlConfig, ControlProtocol
+from repro.core.coordinator import CoordinatorConfig, PipelinesCoordinator
+from repro.core.pipeline import PipelineConfig
+from repro.core.results import PipelineRecord
+from repro.exceptions import CampaignError
+from repro.hpc.platform import ComputePlatform
+from repro.hpc.resources import PlatformSpec, amarel_platform
+from repro.runtime.agent import AgentConfig
+from repro.runtime.pilot import PilotDescription
+from repro.runtime.session import Session
+from repro.utils.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.campaign import CampaignConfig
+    from repro.core.stages import StageFactory
+    from repro.protein.datasets import DesignTarget
+    from repro.runtime.durations import DurationModel
+
+__all__ = [
+    "ProtocolContext",
+    "ProtocolOutcome",
+    "ExecutionProtocol",
+    "PilotRuntimeProtocol",
+    "SequentialRuntimeProtocol",
+    "register_protocol",
+    "unregister_protocol",
+    "available_protocols",
+    "get_protocol",
+]
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol needs to execute one campaign.
+
+    The campaign builds the shared surrogates, stage factory and duration
+    model once (they define the *science* of the run); the protocol decides
+    only *how* the resulting tasks execute.
+    """
+
+    config: "CampaignConfig"
+    targets: List["DesignTarget"]
+    factory: "StageFactory"
+    durations: "DurationModel"
+
+    @property
+    def platform_spec(self) -> PlatformSpec:
+        """The platform to simulate (defaults to one Amarel-like GPU node)."""
+        return self.config.platform_spec or amarel_platform(1)
+
+    @property
+    def selection_seed(self) -> int:
+        """Seed of the sequence-selection stream, derived from the root seed."""
+        return derive_seed(self.config.seed, "selection")
+
+
+@dataclass
+class ProtocolOutcome:
+    """What a protocol hands back to the campaign."""
+
+    records: List[PipelineRecord]
+    platform: ComputePlatform
+    session: Optional[Session] = None
+
+
+class ExecutionProtocol(abc.ABC):
+    """One way of executing a design campaign's pipelines.
+
+    Subclasses set :attr:`name` (the registry key) and :attr:`approach` (the
+    label reported in Table-I-style outputs) and implement :meth:`execute`.
+    """
+
+    #: Registry key, e.g. ``"im-rp"``.
+    name: ClassVar[str]
+    #: Human-readable approach label used in reports, e.g. ``"IM-RP"``.
+    approach: ClassVar[str]
+    #: One-line description shown by ``python -m repro.experiments --list-protocols``.
+    summary: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def execute(self, context: ProtocolContext) -> ProtocolOutcome:
+        """Run every pipeline of the campaign and return records + platform."""
+
+    def pipeline_config(
+        self,
+        context: ProtocolContext,
+        *,
+        adaptive: bool,
+        random_selection: bool,
+    ) -> PipelineConfig:
+        """The per-pipeline configuration derived from the campaign config."""
+        config = context.config
+        return PipelineConfig(
+            n_cycles=config.n_cycles,
+            n_sequences=config.n_sequences,
+            max_retries=config.max_retries,
+            adaptive=adaptive,
+            random_selection=random_selection,
+            acceptance=config.acceptance,
+            adaptivity_schedule=config.adaptivity_schedule,
+            selection_seed=context.selection_seed,
+        )
+
+
+# -- registry ------------------------------------------------------------------- #
+
+_REGISTRY: Dict[str, Type[ExecutionProtocol]] = {}
+
+
+def register_protocol(cls: Type[ExecutionProtocol]) -> Type[ExecutionProtocol]:
+    """Class decorator adding an :class:`ExecutionProtocol` to the registry.
+
+    Registration is idempotent for the same class; registering a *different*
+    class under an existing name raises :class:`CampaignError` (protocols are
+    part of the reproducibility contract, silent replacement would let two
+    runs with the same config mean different things).
+    """
+    if not (isinstance(cls, type) and issubclass(cls, ExecutionProtocol)):
+        raise CampaignError(
+            f"register_protocol expects an ExecutionProtocol subclass, got {cls!r}"
+        )
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise CampaignError(
+            f"protocol class {cls.__name__} must define a non-empty string 'name'"
+        )
+    if not isinstance(getattr(cls, "approach", None), str):
+        raise CampaignError(
+            f"protocol class {cls.__name__} must define a string 'approach' label"
+        )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise CampaignError(
+            f"protocol {name!r} is already registered to {existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a protocol from the registry (primarily for tests/plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_protocols() -> Tuple[str, ...]:
+    """The sorted names of every registered protocol."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_protocol(name: str) -> ExecutionProtocol:
+    """Instantiate the protocol registered under ``name``.
+
+    Raises
+    ------
+    CampaignError
+        If no protocol is registered under ``name``.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown protocol {name!r}; available: {list(available_protocols())}"
+        ) from None
+    return cls()
+
+
+# -- built-in protocols ------------------------------------------------------------ #
+
+
+class PilotRuntimeProtocol(ExecutionProtocol):
+    """Shared machinery for protocols running on the asynchronous pilot runtime.
+
+    Subclasses pick the selection/adaptivity flavour; execution always goes
+    through a :class:`Session` and the :class:`PipelinesCoordinator`, with
+    sub-pipeline spawning governed by the campaign's spawn policy.
+    """
+
+    #: Whether Stage 6 gates cycle acceptance.
+    adaptive: ClassVar[bool] = True
+    #: Whether the evaluated sequence is drawn at random instead of top-ranked.
+    random_selection: ClassVar[bool] = False
+
+    def execute(self, context: ProtocolContext) -> ProtocolOutcome:
+        config = context.config
+        agent_config = AgentConfig(
+            scheduler_policy=config.scheduler_policy,
+            backfill_window=config.backfill_window,
+        )
+        session = Session(
+            platform_spec=context.platform_spec,
+            pilot_description=PilotDescription(agent_config=agent_config),
+            durations=context.durations,
+        )
+        with session:
+            coordinator = PipelinesCoordinator(
+                session,
+                context.factory,
+                CoordinatorConfig(
+                    pipeline=self.pipeline_config(
+                        context,
+                        adaptive=self.adaptive,
+                        random_selection=self.random_selection,
+                    ),
+                    spawn_policy=config.spawn_policy,
+                    max_in_flight_pipelines=config.max_in_flight_pipelines,
+                ),
+            )
+            coordinator.add_targets(context.targets)
+            records = coordinator.run()
+        return ProtocolOutcome(
+            records=records, platform=session.platform, session=session
+        )
+
+
+class SequentialRuntimeProtocol(ExecutionProtocol):
+    """Shared machinery for middleware-free sequential protocols (the control)."""
+
+    #: Whether the evaluated sequence is drawn at random (the paper's control).
+    random_selection: ClassVar[bool] = True
+
+    def execute(self, context: ProtocolContext) -> ProtocolOutcome:
+        config = context.config
+        platform = ComputePlatform(context.platform_spec)
+        control = ControlProtocol(
+            platform,
+            context.factory,
+            context.durations,
+            ControlConfig(
+                n_cycles=config.n_cycles,
+                n_sequences=config.n_sequences,
+                selection_seed=context.selection_seed,
+                random_selection=self.random_selection,
+            ),
+        )
+        records = control.run(context.targets)
+        return ProtocolOutcome(records=records, platform=platform)
+
+
+@register_protocol
+class ImRpProtocol(PilotRuntimeProtocol):
+    """The paper's adaptive implementation (IM-RP)."""
+
+    name = "im-rp"
+    approach = "IM-RP"
+    summary = "adaptive pipelines on the pilot runtime, top-ranked selection"
+
+
+@register_protocol
+class ImRpRandomProtocol(PilotRuntimeProtocol):
+    """IM-RP's runtime and adaptivity with the control's random selection."""
+
+    name = "im-rp-random"
+    approach = "IM-RP-RAND"
+    summary = "pilot runtime + adaptive gating, but random sequence selection"
+    random_selection = True
+
+
+@register_protocol
+class ContVProtocol(SequentialRuntimeProtocol):
+    """The paper's non-adaptive sequential control (CONT-V)."""
+
+    name = "cont-v"
+    approach = "CONT-V"
+    summary = "sequential middleware-free execution, random selection"
+
+
+@register_protocol
+class ContVRankedProtocol(SequentialRuntimeProtocol):
+    """CONT-V's sequential execution with top-ranked selection."""
+
+    name = "cont-v-ranked"
+    approach = "CONT-V-RANK"
+    summary = "sequential middleware-free execution, top-ranked selection"
+    random_selection = False

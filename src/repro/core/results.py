@@ -82,6 +82,9 @@ class CampaignResult:
     phase_totals: Dict[str, float] = field(default_factory=dict)
     n_cycles: int = 4
     seed: int = 0
+    #: Registry key of the execution protocol that produced this result
+    #: (``approach`` is the report label; this is the machine-readable key).
+    protocol: str = ""
 
     # -- counting --------------------------------------------------------------- #
 
@@ -220,6 +223,7 @@ class CampaignResult:
     def as_dict(self) -> dict:
         return {
             "approach": self.approach,
+            "protocol": self.protocol,
             "targets": list(self.targets),
             "n_pipelines": self.n_pipelines,
             "n_subpipelines": self.n_subpipelines,

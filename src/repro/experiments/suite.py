@@ -1,0 +1,224 @@
+"""The campaign-suite engine: parallel fan-out of a sweep's campaign runs.
+
+Campaign runs are independent simulations (separate platforms, separate RNG
+streams), i.e. embarrassingly parallel: :class:`CampaignSuite` fans the
+expanded :class:`~repro.experiments.spec.RunSpec` list out over a
+``ProcessPoolExecutor`` and aggregates the per-run
+:class:`~repro.core.results.CampaignResult` objects into a
+:class:`SuiteResult`.  Determinism is preserved — each worker rebuilds its
+targets and campaign from the declarative spec, so a run inside a suite is
+identical to running that campaign alone, regardless of executor or worker
+count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.campaign import DesignCampaign
+from repro.core.results import CampaignResult
+from repro.exceptions import CampaignError
+from repro.experiments.spec import RunSpec, SweepSpec
+
+__all__ = ["SuiteRunRecord", "SuiteResult", "CampaignSuite", "execute_run"]
+
+#: Supported executor kinds.
+EXECUTORS = ("serial", "process", "thread")
+
+
+def execute_run(spec: RunSpec) -> Tuple[CampaignResult, float]:
+    """Execute one run spec and return ``(result, wall_seconds)``.
+
+    Module-level so it is picklable as a process-pool work item.  The targets
+    and campaign are rebuilt from the declarative spec inside the worker.
+    """
+    start = time.perf_counter()
+    campaign = DesignCampaign(spec.targets.build(), spec.campaign_config())
+    result = campaign.run()
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class SuiteRunRecord:
+    """One finished run: its spec, its result, and its own wall-clock time."""
+
+    spec: RunSpec
+    result: CampaignResult
+    wall_seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.as_dict(),
+            "wall_seconds": self.wall_seconds,
+            "result": self.result.as_dict(),
+        }
+
+
+@dataclass
+class SuiteResult:
+    """Aggregate outcome of one suite execution."""
+
+    records: List[SuiteRunRecord]
+    wall_seconds: float
+    executor: str
+    n_workers: int
+
+    @property
+    def results(self) -> List[CampaignResult]:
+        return [record.result for record in self.records]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_run_seconds(self) -> float:
+        """Sum of per-run wall-clock times (the serial-equivalent cost)."""
+        return sum(record.wall_seconds for record in self.records)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate per-run time over suite wall-clock time.
+
+        For a parallel execution this estimates the speedup over running the
+        same runs back-to-back; for a serial execution it is ~1 minus the
+        engine's own overhead.
+        """
+        if self.wall_seconds <= 0:
+            return float("nan")
+        return self.total_run_seconds / self.wall_seconds
+
+    def by_protocol(self) -> Dict[str, List[SuiteRunRecord]]:
+        """Records grouped by protocol name, preserving run order."""
+        groups: Dict[str, List[SuiteRunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.spec.protocol, []).append(record)
+        return groups
+
+    def find(self, run_id: str) -> SuiteRunRecord:
+        """The record with the given run id."""
+        for record in self.records:
+            if record.spec.run_id == run_id:
+                return record
+        raise CampaignError(f"no run {run_id!r} in this suite result")
+
+    def as_dict(self) -> dict:
+        return {
+            "executor": self.executor,
+            "n_workers": self.n_workers,
+            "n_runs": self.n_runs,
+            "wall_seconds": self.wall_seconds,
+            "total_run_seconds": self.total_run_seconds,
+            "speedup": self.speedup,
+            "runs": [record.as_dict() for record in self.records],
+        }
+
+
+@dataclass
+class CampaignSuite:
+    """Executes every run of a :class:`SweepSpec`, optionally in parallel.
+
+    Attributes
+    ----------
+    spec:
+        The sweep to execute.
+    executor:
+        ``"process"`` (default; one OS process per worker — true parallelism
+        for these CPU-bound simulations), ``"thread"`` (lighter weight, GIL
+        bound; useful for tests and I/O-dominated custom protocols), or
+        ``"serial"`` (in-process, no pool — the baseline the speedup is
+        measured against).  Custom (plugin) protocols registered at runtime
+        are only visible to process workers when the multiprocessing start
+        method is ``fork`` (Linux default): ``spawn`` workers re-import
+        ``repro`` and see the built-ins only, so plugin sweeps there must use
+        the ``"serial"``/``"thread"`` executors or register the protocol at
+        import time of an installed module.
+    max_workers:
+        Pool size; defaults to ``min(n_runs, os.cpu_count())``.
+    """
+
+    spec: SweepSpec
+    executor: str = "process"
+    max_workers: Optional[int] = None
+    _run_specs: List[RunSpec] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise CampaignError(
+                f"executor must be one of {list(EXECUTORS)}, got {self.executor!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise CampaignError("max_workers must be >= 1")
+        self._run_specs = self.spec.expand()
+
+    @property
+    def run_specs(self) -> List[RunSpec]:
+        return list(self._run_specs)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._run_specs)
+
+    def _resolve_workers(self) -> int:
+        if self.executor == "serial":
+            return 1
+        if self.max_workers is not None:
+            return min(self.max_workers, self.n_runs)
+        return max(1, min(self.n_runs, os.cpu_count() or 1))
+
+    def run(self) -> SuiteResult:
+        """Execute every run and return the aggregated :class:`SuiteResult`.
+
+        Results are returned in sweep order irrespective of completion order.
+        A failing run aborts the suite with a :class:`CampaignError` naming
+        the run id (fail fast: a failed scenario means the matrix is wrong).
+        """
+        n_workers = self._resolve_workers()
+        start = time.perf_counter()
+        if self.executor == "serial":
+            outcomes = [execute_run(spec) for spec in self._run_specs]
+        else:
+            outcomes = self._run_pooled(n_workers)
+        wall = time.perf_counter() - start
+        records = [
+            SuiteRunRecord(spec=spec, result=result, wall_seconds=seconds)
+            for spec, (result, seconds) in zip(self._run_specs, outcomes)
+        ]
+        return SuiteResult(
+            records=records,
+            wall_seconds=wall,
+            executor=self.executor,
+            n_workers=n_workers,
+        )
+
+    def _run_pooled(self, n_workers: int) -> List[Tuple[CampaignResult, float]]:
+        pool: Executor
+        if self.executor == "process":
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        else:
+            pool = ThreadPoolExecutor(max_workers=n_workers)
+        with pool:
+            futures = [pool.submit(execute_run, spec) for spec in self._run_specs]
+            # Wait for the first failure (not for earlier futures in submission
+            # order), so a broken scenario aborts the matrix as soon as it
+            # surfaces and the queued remainder is cancelled, not executed.
+            wait(futures, return_when=FIRST_EXCEPTION)
+            for spec, future in zip(self._run_specs, futures):
+                error = future.exception() if future.done() else None
+                if error is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise CampaignError(
+                        f"suite run {spec.run_id!r} failed: {error}"
+                    ) from error
+            outcomes = [future.result() for future in futures]
+        return outcomes

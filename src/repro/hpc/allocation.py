@@ -10,6 +10,7 @@ to concrete devices, which is what Figs 4 and 5 plot.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -55,7 +56,10 @@ class _NodeState:
     spec: NodeSpec
     free_cores: Set[int] = field(default_factory=set)
     free_gpus: Set[int] = field(default_factory=set)
-    free_memory_gb: float = 0.0
+    #: Memory held per live allocation id.  Free memory is derived from this
+    #: rather than kept as a running difference, so an empty node reports
+    #: exactly ``spec.memory_gb`` again (no float-accumulation drift).
+    allocated_memory_gb: Dict[int, float] = field(default_factory=dict)
 
     @classmethod
     def fresh(cls, spec: NodeSpec) -> "_NodeState":
@@ -63,8 +67,11 @@ class _NodeState:
             spec=spec,
             free_cores=set(range(spec.cpu_cores)),
             free_gpus=set(range(spec.gpus)),
-            free_memory_gb=spec.memory_gb,
         )
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.spec.memory_gb - math.fsum(self.allocated_memory_gb.values())
 
     def fits(self, request: ResourceRequest) -> bool:
         return (
@@ -157,7 +164,6 @@ class NodeAllocator:
             gpu_ids = tuple(sorted(state.free_gpus)[: request.gpus])
             state.free_cores.difference_update(core_ids)
             state.free_gpus.difference_update(gpu_ids)
-            state.free_memory_gb -= request.memory_gb
             allocation = Allocation(
                 allocation_id=next(self._ids),
                 node=name,
@@ -165,6 +171,7 @@ class NodeAllocator:
                 gpu_ids=gpu_ids,
                 memory_gb=request.memory_gb,
             )
+            state.allocated_memory_gb[allocation.allocation_id] = request.memory_gb
             self._live[allocation.allocation_id] = allocation
             return allocation
         raise AllocationError(
@@ -195,11 +202,10 @@ class NodeAllocator:
             )
         state.free_cores.update(stored.cpu_core_ids)
         state.free_gpus.update(stored.gpu_ids)
-        state.free_memory_gb += stored.memory_gb
-        if state.free_memory_gb > state.spec.memory_gb + 1e-6:
+        if state.allocated_memory_gb.pop(stored.allocation_id, None) is None:
             raise AllocationError(
                 f"memory accounting error on node {stored.node!r}: "
-                f"{state.free_memory_gb} > {state.spec.memory_gb}"
+                f"allocation {stored.allocation_id} held no memory record"
             )
 
     def utilization(self) -> Dict[str, float]:

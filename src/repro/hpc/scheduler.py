@@ -33,6 +33,7 @@ __all__ = [
     "FifoScheduler",
     "BackfillScheduler",
     "make_scheduler",
+    "available_schedulers",
 ]
 
 
@@ -172,6 +173,11 @@ _SCHEDULERS: dict[str, Callable[..., PlacementScheduler]] = {
     "fifo": FifoScheduler,
     "backfill": BackfillScheduler,
 }
+
+
+def available_schedulers() -> tuple:
+    """The sorted names of every registered placement policy."""
+    return tuple(sorted(_SCHEDULERS))
 
 
 def make_scheduler(

@@ -28,9 +28,10 @@ from repro.protein.sequence import ProteinSequence
 from repro.protein.structure import ComplexStructure
 from repro.utils.rng import spawn_rng
 
-__all__ = ["FoldingConfig", "FoldingResult", "SurrogateAlphaFold"]
+__all__ = ["MSA_MODES", "FoldingConfig", "FoldingResult", "SurrogateAlphaFold"]
 
-_MSA_MODES = ("full_msa", "single_sequence")
+#: Supported surrogate-AlphaFold MSA modes.
+MSA_MODES = ("full_msa", "single_sequence")
 
 
 @dataclass(frozen=True)
@@ -60,9 +61,9 @@ class FoldingConfig:
     single_sequence_noise_factor: float = 2.5
 
     def __post_init__(self) -> None:
-        if self.msa_mode not in _MSA_MODES:
+        if self.msa_mode not in MSA_MODES:
             raise ConfigurationError(
-                f"msa_mode must be one of {_MSA_MODES}, got {self.msa_mode!r}"
+                f"msa_mode must be one of {MSA_MODES}, got {self.msa_mode!r}"
             )
         if self.n_models < 1:
             raise ConfigurationError("n_models must be >= 1")

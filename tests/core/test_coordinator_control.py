@@ -6,11 +6,9 @@ import pytest
 
 from repro.core.control import ControlConfig, ControlProtocol
 from repro.core.coordinator import CoordinatorConfig, PipelinesCoordinator
-from repro.core.decision import AcceptancePolicy, SubPipelinePolicy
+from repro.core.decision import SubPipelinePolicy
 from repro.core.pipeline import PipelineConfig, PipelineStatus
 from repro.exceptions import CampaignError, CoordinatorError
-from repro.hpc.platform import ComputePlatform
-from repro.hpc.resources import amarel_platform
 
 
 @pytest.fixture()
@@ -119,12 +117,6 @@ class TestCoordinator:
 
 
 class TestControlProtocol:
-    def _control(self, durations):
-        from repro.core.stages import StageFactory
-
-        platform = ComputePlatform(amarel_platform(1))
-        return platform, ControlProtocol
-
     def test_single_pipeline_record(self, platform, factory, durations, four_targets):
         control = ControlProtocol(platform, factory, durations, ControlConfig(n_cycles=2))
         records = control.run(four_targets)

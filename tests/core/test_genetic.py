@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.genetic import GeneticConfig, GeneticOptimizer
 from repro.exceptions import ConfigurationError
-from repro.protein.folding import SurrogateAlphaFold
 from repro.protein.mpnn import MPNNConfig, SurrogateProteinMPNN
 
 

@@ -6,11 +6,8 @@ import pytest
 
 from repro.core.decision import AcceptancePolicy
 from repro.core.pipeline import Pipeline, PipelineConfig, PipelineStatus
-from repro.core.stages import StageFactory
 from repro.exceptions import ConfigurationError, PipelineError
 from repro.protein.folding import FoldingResult
-from repro.protein.metrics import QualityMetrics
-from repro.protein.sequence import ScoredSequence
 from repro.runtime.durations import TaskKind
 from repro.runtime.states import TaskState
 from repro.runtime.task import Task, TaskDescription

@@ -12,7 +12,6 @@ import pytest
 from repro.core.coordinator import CoordinatorConfig, PipelinesCoordinator
 from repro.core.decision import SubPipelinePolicy
 from repro.core.pipeline import PipelineConfig, PipelineStatus
-from repro.core.results import PipelineRecord
 from repro.core.stages import StageFactory, StageModels
 from repro.protein.folding import SurrogateAlphaFold
 from repro.protein.mpnn import SurrogateProteinMPNN

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError, ProteinError, SequenceError
 from repro.protein.datasets import make_pdz_target
@@ -13,7 +11,7 @@ from repro.protein.folding import FoldingConfig, SurrogateAlphaFold
 from repro.protein.landscape import FitnessLandscape
 from repro.protein.mpnn import MPNNConfig, SurrogateProteinMPNN
 from repro.protein.mutation import point_mutations, random_sequence
-from repro.protein.sequence import ProteinSequence, ScoredSequence
+from repro.protein.sequence import ProteinSequence
 from repro.utils.rng import spawn_rng
 
 

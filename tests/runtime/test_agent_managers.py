@@ -9,13 +9,12 @@ from repro.hpc.platform import ComputePlatform
 from repro.hpc.resources import ResourceRequest, amarel_platform
 from repro.runtime.agent import Agent, AgentConfig
 from repro.runtime.durations import DurationModel, TaskKind
-from repro.runtime.pilot import Pilot, PilotDescription
+from repro.runtime.pilot import PilotDescription
 from repro.runtime.pilot_manager import PilotManager
 from repro.runtime.queues import Channel
 from repro.runtime.session import Session
 from repro.runtime.states import PilotState, TaskState
 from repro.runtime.task import Task, TaskDescription
-from repro.runtime.task_manager import TaskManager
 
 
 def _description(name="t", kind=TaskKind.COMPARE, cores=1, gpus=0, payload=None, **meta):

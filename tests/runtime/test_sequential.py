@@ -6,7 +6,7 @@ import pytest
 
 from repro.exceptions import TaskError
 from repro.hpc.platform import ComputePlatform
-from repro.hpc.resources import ResourceRequest, amarel_platform
+from repro.hpc.resources import amarel_platform
 from repro.runtime.durations import DurationModel, TaskKind
 from repro.runtime.sequential import SequentialRunner
 from repro.runtime.states import TaskState
