@@ -7,12 +7,20 @@ over the named PDZ targets.  The serial case is the baseline the parallel
 case's wall-clock speedup is measured against; on a single-core runner the
 process pool is expected to break even (minus pool overhead), on multi-core
 hardware it should approach min(n_workers, n_runs)x.
+
+Two store variants bound the persistence layer: streaming finished runs to a
+:class:`~repro.store.RunStore` must add negligible overhead over in-memory
+execution, and a warm (100% cache-hit) pass must beat the cold pass by at
+least an order of magnitude.
 """
 
 from __future__ import annotations
 
+import time
+
 from benchmarks.conftest import PAPER_SEED, print_banner
 from repro.experiments import CampaignSuite, SweepSpec, TargetSpec
+from repro.store import RunStore
 
 #: 4 protocols x 2 seeds = 8 campaigns, two design cycles each.
 SUITE_SWEEP = SweepSpec(
@@ -34,6 +42,70 @@ def test_campaign_suite_serial(benchmark):
     print(
         f"wall {outcome.wall_seconds:.2f}s, aggregate {outcome.total_run_seconds:.2f}s"
     )
+
+
+def test_campaign_suite_store_streaming_overhead(tmp_path):
+    """Streaming every finished run to the store must be ~free.
+
+    Runs the 8-campaign matrix serially twice — in-memory vs streaming to a
+    cold store — and reports the relative overhead of fingerprinting +
+    append/flush/fsync.  Measured overhead on a quiet host is < 5%; the
+    assertion is deliberately looser (2x) so a noisy CI runner cannot flake,
+    while still catching an accidentally quadratic store path.
+    """
+    start = time.perf_counter()
+    in_memory = CampaignSuite(SUITE_SWEEP, executor="serial").run()
+    memory_seconds = time.perf_counter() - start
+
+    store = RunStore(tmp_path / "suite.jsonl")
+    start = time.perf_counter()
+    streamed = CampaignSuite(SUITE_SWEEP, executor="serial").run(store=store)
+    streamed_seconds = time.perf_counter() - start
+
+    assert in_memory.n_runs == streamed.n_runs == 8
+    assert streamed.n_cached == 0 and len(store) == 8
+    overhead = streamed_seconds / memory_seconds - 1.0
+    print_banner("Campaign suite — streaming-to-store overhead (8 campaigns)")
+    print(
+        f"in-memory {memory_seconds:.2f}s, streaming {streamed_seconds:.2f}s, "
+        f"overhead {100.0 * overhead:+.1f}%"
+    )
+    assert streamed_seconds < 2.0 * memory_seconds
+
+
+def test_campaign_suite_warm_store(tmp_path):
+    """A fully cached pass must be at least 10x faster than the cold pass.
+
+    The warm pass re-expands the sweep, fingerprints all 8 cells, finds every
+    one in the store and reloads the records from JSONL — no campaign
+    executes.  Cached records must also be bit-compatible with the cold run
+    (same protocol/seed identity, same trajectory counts).
+    """
+    store = RunStore(tmp_path / "suite.jsonl")
+    start = time.perf_counter()
+    cold = CampaignSuite(SUITE_SWEEP, executor="serial").run(store=store)
+    cold_seconds = time.perf_counter() - start
+    assert cold.n_cached == 0 and cold.n_runs == 8
+
+    start = time.perf_counter()
+    warm = CampaignSuite(SUITE_SWEEP, executor="serial").run(store=store)
+    warm_seconds = time.perf_counter() - start
+    assert warm.n_cached == warm.n_runs == 8
+
+    for cold_record, warm_record in zip(cold.records, warm.records):
+        assert warm_record.cached
+        assert warm_record.spec == cold_record.spec
+        assert warm_record.result.protocol == cold_record.result.protocol
+        assert warm_record.result.seed == cold_record.result.seed
+        assert warm_record.result.n_trajectories == cold_record.result.n_trajectories
+
+    speedup = cold_seconds / warm_seconds
+    print_banner("Campaign suite — warm store (8 campaigns, 100% cache hits)")
+    print(
+        f"cold {cold_seconds:.2f}s, warm {warm_seconds * 1000.0:.1f}ms, "
+        f"cache speedup {speedup:.0f}x"
+    )
+    assert speedup >= 10.0
 
 
 def test_campaign_suite_process_pool(benchmark):

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Resumable, shard-able sweeps: the persistent run store end to end.
+
+Walks through the full :mod:`repro.store` workflow on a small seeded sweep:
+
+1. run a sweep with a :class:`~repro.store.RunStore` attached — every
+   finished run streams to an append-only JSONL file;
+2. re-run the *edited* sweep (one extra seed) against the same store — only
+   the new cells execute, everything else is a fingerprint cache hit;
+3. simulate two machines by running ``shard 0/2`` and ``shard 1/2`` of a
+   fresh sweep into separate stores, then merge them and report the
+   cross-protocol matrix straight from the merged store.
+
+Usage::
+
+    python examples/resumable_sweep.py [--keep DIR]
+
+The equivalent command-line workflow::
+
+    python -m repro.experiments --seeds 0 1 --store sweep.jsonl
+    python -m repro.experiments --seeds 0 1 2 --store sweep.jsonl   # resume
+    python -m repro.experiments --seeds 0 1 --shard 0/2 --store shard0.jsonl
+    python -m repro.experiments --seeds 0 1 --shard 1/2 --store shard1.jsonl
+    python -m repro.store merge merged.jsonl shard0.jsonl shard1.jsonl
+    python -m repro.store report merged.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.analysis import format_protocol_matrix
+from repro.analysis.comparison import protocol_matrix_from_store
+from repro.experiments import CampaignSuite, SweepSpec, TargetSpec
+from repro.store import RunStore, merge_stores
+
+
+def sweep_with_seeds(*seeds: int) -> SweepSpec:
+    return SweepSpec(
+        protocols=("im-rp", "cont-v"),
+        seeds=seeds,
+        targets=TargetSpec(kind="named-pdz", seed=7),
+        base={"n_cycles": 2, "n_sequences": 6},
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep", metavar="DIR", default=None,
+        help="write the store files into DIR instead of a temp directory",
+    )
+    args = parser.parse_args()
+    workdir = Path(args.keep) if args.keep else Path(tempfile.mkdtemp())
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # 1. Cold run: every cell executes and streams to the store.
+    store = RunStore(workdir / "sweep.jsonl")
+    cold = CampaignSuite(sweep_with_seeds(0, 1), executor="serial").run(store=store)
+    print(
+        f"cold run:   {cold.n_executed} executed, {cold.n_cached} cached "
+        f"({cold.wall_seconds:.2f}s) -> {store.path}"
+    )
+
+    # 2. Resume the edited sweep: only the new seed's cells execute.
+    warm = CampaignSuite(sweep_with_seeds(0, 1, 2), executor="serial").run(store=store)
+    print(
+        f"edited run: {warm.n_executed} executed, {warm.n_cached} cached "
+        f"({warm.wall_seconds:.2f}s) — only seed 2 was new"
+    )
+
+    # 3. Two "machines", one shard each, then merge + report from disk.
+    shards = []
+    for index in (0, 1):
+        shard_store = RunStore(workdir / f"shard{index}.jsonl")
+        outcome = CampaignSuite(
+            sweep_with_seeds(3, 4), executor="serial", shard=(index, 2)
+        ).run(store=shard_store)
+        shards.append(shard_store.path)
+        print(f"shard {index}/2:  {outcome.n_executed} runs -> {shard_store.path}")
+    merged = merge_stores(shards, workdir / "merged.jsonl")
+    print(f"merged:     {len(merged)} unique runs -> {merged.path}\n")
+    print(format_protocol_matrix(protocol_matrix_from_store(merged)))
+
+
+if __name__ == "__main__":
+    main()

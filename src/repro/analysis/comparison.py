@@ -21,7 +21,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.results import CampaignResult, compare_campaigns
 from repro.exceptions import CampaignError
 
-__all__ = ["Table1Row", "table1", "ProtocolMatrixRow", "protocol_matrix"]
+__all__ = [
+    "Table1Row",
+    "table1",
+    "ProtocolMatrixRow",
+    "protocol_matrix",
+    "protocol_matrix_from_store",
+]
 
 
 @dataclass(frozen=True)
@@ -174,3 +180,20 @@ def protocol_matrix(results: Sequence[CampaignResult]) -> List[ProtocolMatrixRow
             )
         )
     return rows
+
+
+def protocol_matrix_from_store(store) -> List[ProtocolMatrixRow]:
+    """The cross-protocol matrix aggregated straight from a persistent store.
+
+    ``store`` is a :class:`repro.store.RunStore`, or a path to one.  Stored
+    result views expose the same quantities :func:`protocol_matrix` reads
+    from live :class:`CampaignResult` objects (shared net-delta arithmetic),
+    so a matrix reported from a store matches the matrix of the original
+    suite execution exactly.  Records stream one at a time — the store is
+    never fully materialised.
+    """
+    if not hasattr(store, "iter_records"):
+        from repro.store.runstore import RunStore
+
+        store = RunStore(store)
+    return protocol_matrix([stored.result for stored in store.iter_records()])

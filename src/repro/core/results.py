@@ -23,7 +23,35 @@ from repro.exceptions import CampaignError
 from repro.protein.metrics import QualityMetrics, aggregate_metrics
 from repro.utils.stats import net_delta_percent
 
-__all__ = ["PipelineRecord", "CampaignResult", "compare_campaigns"]
+__all__ = [
+    "PipelineRecord",
+    "CampaignResult",
+    "compare_campaigns",
+    "net_deltas_from_summary",
+]
+
+
+def net_deltas_from_summary(
+    summary: Dict[int, Dict[str, Dict[str, float]]],
+) -> Dict[str, float]:
+    """Net change (%) of each metric's cohort median, first vs last iteration.
+
+    Shared by :meth:`CampaignResult.net_deltas` and the persistent store's
+    reloaded result views, so live and stored results derive the deltas with
+    bit-identical arithmetic.
+    """
+    if len(summary) < 2:
+        raise CampaignError(
+            "need at least a baseline and one completed iteration for net deltas"
+        )
+    first_key = min(summary)
+    last_key = max(summary)
+    return {
+        metric: net_delta_percent(
+            summary[first_key][metric]["median"], summary[last_key][metric]["median"]
+        )
+        for metric in ("plddt", "ptm", "interchain_pae")
+    }
 
 
 @dataclass
@@ -176,19 +204,7 @@ class CampaignResult:
 
     def net_deltas(self) -> Dict[str, float]:
         """Net change (%) of each metric's cohort median, first vs last iteration."""
-        summary = self.iteration_summary()
-        if len(summary) < 2:
-            raise CampaignError(
-                "need at least a baseline and one completed iteration for net deltas"
-            )
-        first_key = min(summary)
-        last_key = max(summary)
-        deltas: Dict[str, float] = {}
-        for metric in ("plddt", "ptm", "interchain_pae"):
-            initial = summary[first_key][metric]["median"]
-            final = summary[last_key][metric]["median"]
-            deltas[metric] = net_delta_percent(initial, final)
-        return deltas
+        return net_deltas_from_summary(self.iteration_summary())
 
     def absolute_deltas(self) -> Dict[str, float]:
         """Absolute change of each metric's cohort median, first vs last iteration."""
@@ -224,6 +240,8 @@ class CampaignResult:
         return {
             "approach": self.approach,
             "protocol": self.protocol,
+            "seed": self.seed,
+            "n_cycles": self.n_cycles,
             "targets": list(self.targets),
             "n_pipelines": self.n_pipelines,
             "n_subpipelines": self.n_subpipelines,

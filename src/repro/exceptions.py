@@ -68,6 +68,10 @@ class CampaignError(ReproError):
     """A design campaign was misconfigured or failed to complete."""
 
 
+class StoreError(ReproError):
+    """A persistent run store is corrupt, incompatible or misused."""
+
+
 class ProteinError(ReproError):
     """Base class for protein-substrate errors."""
 

@@ -17,6 +17,15 @@ per-run table plus the cross-protocol comparison matrix.  Examples::
 
     # What protocols are registered?
     python -m repro.experiments --list-protocols
+
+    # Resumable sweep: finished runs stream to the store; re-running after an
+    # edit (or a crash) executes only the cells the store doesn't hold yet.
+    python -m repro.experiments --seeds 0 1 2 --store sweep.jsonl
+
+    # Cross-machine sharding: each machine runs its half against its own
+    # store, then `python -m repro.store merge` combines them.
+    python -m repro.experiments --seeds 0 1 2 --shard 0/2 --store shard0.jsonl
+    python -m repro.experiments --seeds 0 1 2 --shard 1/2 --store shard1.jsonl
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from repro.exceptions import ReproError
 from repro.hpc.scheduler import available_schedulers
 from repro.experiments.spec import TARGET_KINDS, SweepSpec, TargetSpec
 from repro.experiments.suite import EXECUTORS, CampaignSuite
+from repro.store import RunStore, parse_shard
 from repro.utils.serialization import to_jsonable
 
 __all__ = ["build_parser", "main"]
@@ -89,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full suite result as JSON ('-' for stdout)",
     )
     parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persistent run store (JSONL): stream finished runs to it and "
+        "skip runs it already holds (resume / run cache)",
+    )
+    parser.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="execute only shard I of N of the expanded sweep (deterministic "
+        "strided partition; merge the per-shard stores afterwards)",
+    )
+    parser.add_argument(
         "--list-protocols", action="store_true",
         help="list registered execution protocols and exit",
     )
@@ -136,12 +156,15 @@ def _format_run_table(records) -> str:
     lines = [header, "-" * len(header)]
     for record in records:
         result = record.result
+        run_label = record.spec.run_id + (" *" if record.cached else "")
         lines.append(
-            f"{record.spec.run_id:<24} | {result.approach:<11} | "
+            f"{run_label:<24} | {result.approach:<11} | "
             f"{result.n_trajectories:>5} | {100.0 * result.cpu_utilization:>6.1f} | "
             f"{100.0 * result.gpu_utilization:>6.1f} | {result.makespan_hours:>8.1f} | "
             f"{record.wall_seconds:>8.2f}"
         )
+    if any(record.cached for record in records):
+        lines.append("(* = served from the run store, not re-executed)")
     return "\n".join(lines)
 
 
@@ -153,16 +176,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     try:
         sweep = _sweep_from_args(args)
+        shard = parse_shard(args.shard) if args.shard else None
+        store = RunStore(args.store) if args.store else None
         suite = CampaignSuite(
-            spec=sweep, executor=args.executor, max_workers=args.workers
+            spec=sweep, executor=args.executor, max_workers=args.workers,
+            shard=shard,
         )
+        shard_note = f" [shard {args.shard}]" if shard else ""
         print(
             f"Running {suite.n_runs} campaigns "
             f"({len(sweep.protocols)} protocols x {len(sweep.seeds)} seeds"
-            f"{f' x {len(sweep.knobs)} knobs' if len(sweep.knobs) > 1 else ''}) "
-            f"via {args.executor} executor ..."
+            f"{f' x {len(sweep.knobs)} knobs' if len(sweep.knobs) > 1 else ''})"
+            f"{shard_note} via {args.executor} executor ..."
         )
-        outcome = suite.run()
+        outcome = suite.run(store=store)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -177,6 +204,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"speedup {outcome.speedup:.2f}x, executor={outcome.executor}, "
         f"workers={outcome.n_workers})"
     )
+    if store is not None:
+        percent = 100.0 * outcome.n_cached / outcome.n_runs if outcome.n_runs else 0.0
+        print(
+            f"Store {store.path}: cache hits {outcome.n_cached}/{outcome.n_runs} "
+            f"({percent:.0f}%), executed {outcome.n_executed}, "
+            f"stored runs {len(store)}"
+        )
     if args.json:
         payload = json.dumps(to_jsonable(outcome.as_dict()), indent=2, sort_keys=True)
         if args.json == "-":

@@ -16,11 +16,10 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import (
-    FIRST_EXCEPTION,
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
-    wait,
+    as_completed,
 )
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -30,10 +29,23 @@ from repro.core.results import CampaignResult
 from repro.exceptions import CampaignError
 from repro.experiments.spec import RunSpec, SweepSpec
 
-__all__ = ["SuiteRunRecord", "SuiteResult", "CampaignSuite", "execute_run"]
+__all__ = [
+    "SUITE_SCHEMA_VERSION",
+    "SuiteRunRecord",
+    "SuiteResult",
+    "CampaignSuite",
+    "execute_run",
+]
 
 #: Supported executor kinds.
 EXECUTORS = ("serial", "process", "thread")
+
+#: Version stamped into :meth:`SuiteResult.as_dict` (and the ``--json`` CLI
+#: export).  Bump when the export layout changes incompatibly; consumers can
+#: distinguish stamped exports from pre-versioning ones (which lack the key)
+#: and from :mod:`repro.store` files (whose lines are fingerprint-keyed run
+#: records, not suite aggregates).
+SUITE_SCHEMA_VERSION = 1
 
 
 def execute_run(spec: RunSpec) -> Tuple[CampaignResult, float]:
@@ -50,16 +62,24 @@ def execute_run(spec: RunSpec) -> Tuple[CampaignResult, float]:
 
 @dataclass(frozen=True)
 class SuiteRunRecord:
-    """One finished run: its spec, its result, and its own wall-clock time."""
+    """One finished run: its spec, its result, and its own wall-clock time.
+
+    ``cached`` marks records satisfied from a :class:`repro.store.RunStore`
+    instead of being executed; their ``result`` is then a stored result view
+    (duck-typed, bit-identical ``as_dict`` payload for seeded runs) and
+    ``wall_seconds`` is the wall-clock time of the *original* execution.
+    """
 
     spec: RunSpec
     result: CampaignResult
     wall_seconds: float
+    cached: bool = False
 
     def as_dict(self) -> dict:
         return {
             "spec": self.spec.as_dict(),
             "wall_seconds": self.wall_seconds,
+            "cached": self.cached,
             "result": self.result.as_dict(),
         }
 
@@ -72,6 +92,8 @@ class SuiteResult:
     wall_seconds: float
     executor: str
     n_workers: int
+    #: How many records came out of the run store instead of being executed.
+    n_cached: int = 0
 
     @property
     def results(self) -> List[CampaignResult]:
@@ -80,6 +102,10 @@ class SuiteResult:
     @property
     def n_runs(self) -> int:
         return len(self.records)
+
+    @property
+    def n_executed(self) -> int:
+        return self.n_runs - self.n_cached
 
     @property
     def total_run_seconds(self) -> float:
@@ -114,9 +140,11 @@ class SuiteResult:
 
     def as_dict(self) -> dict:
         return {
+            "schema_version": SUITE_SCHEMA_VERSION,
             "executor": self.executor,
             "n_workers": self.n_workers,
             "n_runs": self.n_runs,
+            "n_cached": self.n_cached,
             "wall_seconds": self.wall_seconds,
             "total_run_seconds": self.total_run_seconds,
             "speedup": self.speedup,
@@ -145,11 +173,17 @@ class CampaignSuite:
         import time of an installed module.
     max_workers:
         Pool size; defaults to ``min(n_runs, os.cpu_count())``.
+    shard:
+        Optional ``(index, count)`` pair restricting this suite to the
+        deterministic strided shard ``expand()[index::count]`` of the sweep —
+        the cross-machine partition (each machine runs one shard against its
+        own store file; :func:`repro.store.merge_stores` combines them).
     """
 
     spec: SweepSpec
     executor: str = "process"
     max_workers: Optional[int] = None
+    shard: Optional[Tuple[int, int]] = None
     _run_specs: List[RunSpec] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -160,6 +194,16 @@ class CampaignSuite:
         if self.max_workers is not None and self.max_workers < 1:
             raise CampaignError("max_workers must be >= 1")
         self._run_specs = self.spec.expand()
+        if self.shard is not None:
+            index, count = self.shard
+            if count < 1 or not 0 <= index < count:
+                raise CampaignError(
+                    f"shard must be (index, count) with 0 <= index < count, "
+                    f"got {self.shard!r}"
+                )
+            # Strided partition: deterministic, order-based (never hash-based),
+            # balanced to within one run across shards.
+            self._run_specs = self._run_specs[index::count]
 
     @property
     def run_specs(self) -> List[RunSpec]:
@@ -169,56 +213,115 @@ class CampaignSuite:
     def n_runs(self) -> int:
         return len(self._run_specs)
 
-    def _resolve_workers(self) -> int:
+    def _resolve_workers(self, n_pending: int) -> int:
         if self.executor == "serial":
             return 1
         if self.max_workers is not None:
-            return min(self.max_workers, self.n_runs)
-        return max(1, min(self.n_runs, os.cpu_count() or 1))
+            return max(1, min(self.max_workers, n_pending))
+        return max(1, min(n_pending, os.cpu_count() or 1))
 
-    def run(self) -> SuiteResult:
+    def run(self, store=None) -> SuiteResult:
         """Execute every run and return the aggregated :class:`SuiteResult`.
 
         Results are returned in sweep order irrespective of completion order.
         A failing run aborts the suite with a :class:`CampaignError` naming
         the run id (fail fast: a failed scenario means the matrix is wrong).
+
+        ``store`` (optionally) is a :class:`repro.store.RunStore` — or any
+        object with the same ``fingerprint`` / ``__contains__`` / ``get`` /
+        ``append`` surface; the suite stays import-free of the store layer.
+        With a store attached:
+
+        * runs whose :func:`~repro.store.fingerprint.run_fingerprint` is
+          already stored are *not* executed — their cached records (marked
+          ``cached=True``) are merged into the result in sweep position, so
+          re-running an edited sweep executes only the new cells;
+        * every freshly finished run is streamed to the store the moment it
+          completes (append + flush, in completion order), so a crash or
+          interrupt loses at most the in-flight runs and the next invocation
+          resumes from the survivors.
         """
-        n_workers = self._resolve_workers()
         start = time.perf_counter()
-        if self.executor == "serial":
-            outcomes = [execute_run(spec) for spec in self._run_specs]
+        specs = self._run_specs
+        cached: Dict[int, SuiteRunRecord] = {}
+        pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+        if store is None:
+            pending = [(i, spec, None) for i, spec in enumerate(specs)]
         else:
-            outcomes = self._run_pooled(n_workers)
+            for i, spec in enumerate(specs):
+                fingerprint = store.fingerprint(spec)
+                if fingerprint in store:
+                    cached[i] = store.get(fingerprint).as_record(spec=spec)
+                else:
+                    pending.append((i, spec, fingerprint))
+        n_workers = self._resolve_workers(len(pending))
+        fresh: Dict[int, SuiteRunRecord] = {}
+        if pending:
+            if self.executor == "serial":
+                for i, spec, fingerprint in pending:
+                    result, seconds = execute_run(spec)
+                    fresh[i] = self._finish(spec, result, seconds, store, fingerprint)
+            else:
+                fresh = self._run_pooled(n_workers, pending, store)
         wall = time.perf_counter() - start
         records = [
-            SuiteRunRecord(spec=spec, result=result, wall_seconds=seconds)
-            for spec, (result, seconds) in zip(self._run_specs, outcomes)
+            cached[i] if i in cached else fresh[i] for i in range(len(specs))
         ]
         return SuiteResult(
             records=records,
             wall_seconds=wall,
             executor=self.executor,
             n_workers=n_workers,
+            n_cached=len(cached),
         )
 
-    def _run_pooled(self, n_workers: int) -> List[Tuple[CampaignResult, float]]:
+    @staticmethod
+    def _finish(
+        spec: RunSpec,
+        result: CampaignResult,
+        seconds: float,
+        store,
+        fingerprint: Optional[str],
+    ) -> SuiteRunRecord:
+        """Build the record for a finished run and stream it to the store."""
+        record = SuiteRunRecord(spec=spec, result=result, wall_seconds=seconds)
+        if store is not None:
+            store.append(record, fingerprint=fingerprint)
+        return record
+
+    def _run_pooled(
+        self,
+        n_workers: int,
+        pending: List[Tuple[int, RunSpec, Optional[str]]],
+        store,
+    ) -> Dict[int, SuiteRunRecord]:
         pool: Executor
         if self.executor == "process":
             pool = ProcessPoolExecutor(max_workers=n_workers)
         else:
             pool = ThreadPoolExecutor(max_workers=n_workers)
+        fresh: Dict[int, SuiteRunRecord] = {}
         with pool:
-            futures = [pool.submit(execute_run, spec) for spec in self._run_specs]
-            # Wait for the first failure (not for earlier futures in submission
-            # order), so a broken scenario aborts the matrix as soon as it
-            # surfaces and the queued remainder is cancelled, not executed.
-            wait(futures, return_when=FIRST_EXCEPTION)
-            for spec, future in zip(self._run_specs, futures):
-                error = future.exception() if future.done() else None
-                if error is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise CampaignError(
-                        f"suite run {spec.run_id!r} failed: {error}"
-                    ) from error
-            outcomes = [future.result() for future in futures]
-        return outcomes
+            futures = {
+                pool.submit(execute_run, spec): (i, spec, fingerprint)
+                for i, spec, fingerprint in pending
+            }
+            try:
+                # Consume in completion order so finished runs stream to the
+                # store immediately and the first failure aborts the matrix as
+                # soon as it surfaces (queued remainder cancelled, not run).
+                for future in as_completed(futures):
+                    i, spec, fingerprint = futures[future]
+                    error = future.exception()
+                    if error is not None:
+                        raise CampaignError(
+                            f"suite run {spec.run_id!r} failed: {error}"
+                        ) from error
+                    result, seconds = future.result()
+                    fresh[i] = self._finish(spec, result, seconds, store, fingerprint)
+            except BaseException:
+                # Any abort (failed run, store-append error, interrupt) must
+                # cancel the queued remainder, not silently execute it.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        return fresh

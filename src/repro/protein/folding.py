@@ -153,19 +153,20 @@ class SurrogateAlphaFold:
     def predict_batch(
         self,
         complex_structures: Union[ComplexStructure, Sequence[ComplexStructure]],
-        landscape: FitnessLandscape,
+        landscape: Union[FitnessLandscape, Sequence[FitnessLandscape]],
         sequences: Sequence[ProteinSequence],
         *,
         streams: Optional[Sequence[Sequence[object]]] = None,
     ) -> List[FoldingResult]:
         """Predict a whole population of designs in one landscape evaluation.
 
-        The latent fitness of every design is computed with a single
-        :meth:`FitnessLandscape.fitness_batch` call and the metric means are
-        derived with vectorized arithmetic; each design's metric *noise* is
-        still drawn from its own named RNG stream, so every returned result
-        matches the corresponding scalar :meth:`predict` call (identical RNG
-        draws; metric values agree to float rounding).
+        The latent fitness of every design is computed with one
+        :meth:`FitnessLandscape.fitness_batch` call per distinct landscape
+        and the metric means are derived with vectorized arithmetic; each
+        design's metric *noise* is still drawn from its own named RNG stream,
+        so every returned result matches the corresponding scalar
+        :meth:`predict` call (identical RNG draws; metric values agree to
+        float rounding).
 
         Parameters
         ----------
@@ -174,7 +175,9 @@ class SurrogateAlphaFold:
             design (the genetic optimizer evaluates children against their
             parent's structure).
         landscape:
-            The target's fitness landscape.
+            Either one fitness landscape shared by the whole batch or one
+            landscape per design (the campaign folds its whole target cohort
+            through one call for the iteration-0 baseline).
         sequences:
             Receptor sequences to evaluate, one per design.
         streams:
@@ -190,6 +193,15 @@ class SurrogateAlphaFold:
                 "predict_batch needs one complex per sequence (or a single "
                 "complex shared by the batch)"
             )
+        if isinstance(landscape, FitnessLandscape):
+            landscapes: List[FitnessLandscape] = [landscape] * len(sequences)
+        else:
+            landscapes = list(landscape)
+        if len(landscapes) != len(sequences):
+            raise ConfigurationError(
+                "predict_batch needs one landscape per sequence (or a single "
+                "landscape shared by the batch)"
+            )
         if streams is None:
             stream_list: List[Sequence[object]] = [()] * len(sequences)
         else:
@@ -198,11 +210,21 @@ class SurrogateAlphaFold:
                 raise ConfigurationError(
                     "predict_batch needs one stream per sequence"
                 )
-        for sequence in sequences:
-            if len(sequence) != landscape.receptor_length:
+        for sequence, design_landscape in zip(sequences, landscapes):
+            if len(sequence) != design_landscape.receptor_length:
                 raise ProteinError("sequence length does not match the landscape")
 
-        fitness_values = landscape.fitness_batch(sequences)
+        # One fitness_batch call per distinct landscape, scattered back to
+        # per-design order (a shared landscape stays a single call).
+        fitness_values = np.empty(len(sequences), dtype=float)
+        groups: dict = {}
+        for index, design_landscape in enumerate(landscapes):
+            groups.setdefault(id(design_landscape), (design_landscape, []))[1].append(
+                index
+            )
+        for design_landscape, indices in groups.values():
+            batch = design_landscape.fitness_batch([sequences[i] for i in indices])
+            fitness_values[indices] = batch
         return [
             self._result_from_fitness(structure, sequence, float(fitness), stream)
             for structure, sequence, fitness, stream in zip(

@@ -1,0 +1,51 @@
+"""Persistent run store: streaming results, RunSpec-keyed caching, sharding.
+
+Where :mod:`repro.experiments` *executes* scenario matrices, this package
+makes them durable artifacts:
+
+* :mod:`repro.store.fingerprint` — canonical JSON + sha256 content identity
+  for :class:`~repro.experiments.spec.RunSpec` (stable across processes,
+  hash seeds and knob-dict ordering).
+* :mod:`repro.store.runstore` — :class:`RunStore`, an append-only JSONL file
+  of finished runs keyed by fingerprint, with lazy loads, crash-safe appends
+  and :func:`merge_stores` for combining shards.
+* :mod:`repro.store.shard` — the deterministic ``runs[i::n]`` cross-machine
+  partition of an expanded sweep.
+* :mod:`repro.store.cli` — ``python -m repro.store`` (``inspect`` / ``merge``
+  / ``report``).
+
+Resumable sweep in four lines::
+
+    from repro.experiments import CampaignSuite, SweepSpec
+    from repro.store import RunStore
+
+    store = RunStore("sweep.jsonl")
+    outcome = CampaignSuite(SweepSpec(seeds=(0, 1, 2))).run(store=store)
+    # edit the sweep, re-run: only the new cells execute
+    outcome = CampaignSuite(SweepSpec(seeds=(0, 1, 2, 3))).run(store=store)
+"""
+
+from repro.store.codec import decode_run_spec, encode_run_spec
+from repro.store.fingerprint import canonical_json, run_fingerprint
+from repro.store.runstore import (
+    STORE_SCHEMA_VERSION,
+    RunStore,
+    StoredCampaignResult,
+    StoredRun,
+    merge_stores,
+)
+from repro.store.shard import parse_shard, shard_runs
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "StoredCampaignResult",
+    "StoredRun",
+    "canonical_json",
+    "decode_run_spec",
+    "encode_run_spec",
+    "merge_stores",
+    "parse_shard",
+    "run_fingerprint",
+    "shard_runs",
+]

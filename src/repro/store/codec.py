@@ -1,0 +1,111 @@
+"""Round-trippable encoding of run specs for the persistent store.
+
+``RunSpec.as_dict()`` is a *display* payload (override values are ``repr``
+strings) and is what fingerprints hash; reloading a store, however, needs the
+actual values back — platform specs, decision policies, adaptivity-schedule
+tuples — so stored lines carry a small *tagged* encoding instead:
+
+* JSON scalars pass through unchanged,
+* tuples/lists become ``{"__kind__": "tuple", "items": [...]}`` (override
+  values in specs are tuples by construction),
+* whitelisted config dataclasses become
+  ``{"__kind__": "dataclass", "type": "PlatformSpec", "fields": {...}}``.
+
+Only the dataclasses that can legitimately appear inside a
+:class:`~repro.core.campaign.CampaignConfig` override are registered; an
+unknown type is a hard :class:`~repro.exceptions.StoreError` in both
+directions rather than a silent ``repr`` round-trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple
+
+from repro.core.decision import AcceptancePolicy, SubPipelinePolicy
+from repro.exceptions import StoreError
+from repro.experiments.spec import RunSpec, TargetSpec
+from repro.hpc.resources import NodeSpec, PlatformSpec
+from repro.protein.mpnn import MPNNConfig
+
+__all__ = ["encode_value", "decode_value", "encode_run_spec", "decode_run_spec"]
+
+#: Dataclasses allowed as override values (or nested inside one).
+_DATACLASSES = (PlatformSpec, NodeSpec, AcceptancePolicy, SubPipelinePolicy, MPNNConfig)
+_DATACLASS_BY_NAME = {cls.__name__: cls for cls in _DATACLASSES}
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one override value into tagged JSON builtins."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return {"__kind__": "tuple", "items": [encode_value(item) for item in value]}
+    cls = type(value)
+    if dataclasses.is_dataclass(value) and cls.__name__ in _DATACLASS_BY_NAME:
+        return {
+            "__kind__": "dataclass",
+            "type": cls.__name__,
+            "fields": {
+                f.name: encode_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    raise StoreError(
+        f"cannot persist override value of type {cls.__name__}; "
+        f"supported: JSON scalars, tuples and {sorted(_DATACLASS_BY_NAME)}"
+    )
+
+
+def decode_value(payload: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if isinstance(payload, dict):
+        kind = payload.get("__kind__")
+        if kind == "tuple":
+            return tuple(decode_value(item) for item in payload["items"])
+        if kind == "dataclass":
+            name = payload["type"]
+            cls = _DATACLASS_BY_NAME.get(name)
+            if cls is None:
+                raise StoreError(
+                    f"stored spec references unknown dataclass {name!r}; "
+                    f"supported: {sorted(_DATACLASS_BY_NAME)}"
+                )
+            fields = {
+                key: decode_value(value) for key, value in payload["fields"].items()
+            }
+            return cls(**fields)
+        raise StoreError(f"malformed tagged value in stored spec: {payload!r}")
+    raise StoreError(
+        f"cannot decode stored value of type {type(payload).__name__}"
+    )
+
+
+def encode_run_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Encode a :class:`RunSpec` so it reloads as an equal object."""
+    return {
+        "run_id": spec.run_id,
+        "protocol": spec.protocol,
+        "seed": spec.seed,
+        "targets": dataclasses.asdict(spec.targets),
+        "overrides": [[key, encode_value(value)] for key, value in spec.overrides],
+    }
+
+
+def decode_run_spec(payload: Dict[str, Any]) -> RunSpec:
+    """Rebuild the :class:`RunSpec` encoded by :func:`encode_run_spec`."""
+    try:
+        overrides: Tuple[Tuple[str, Any], ...] = tuple(
+            (key, decode_value(value)) for key, value in payload["overrides"]
+        )
+        return RunSpec(
+            run_id=payload["run_id"],
+            protocol=payload["protocol"],
+            seed=payload["seed"],
+            targets=TargetSpec(**payload["targets"]),
+            overrides=overrides,
+        )
+    except (KeyError, TypeError) as error:
+        raise StoreError(f"malformed stored run spec: {error}") from error

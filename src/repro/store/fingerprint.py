@@ -1,0 +1,92 @@
+"""Content-addressed run identity: canonical JSON and RunSpec fingerprints.
+
+A fingerprint is the sha256 of a *canonical* JSON rendering of a run spec's
+``as_dict()`` payload.  Canonical means byte-stable across processes,
+platforms and Python hash seeds:
+
+* object keys are sorted (so knob/override dict ordering never matters),
+* floats are normalised (``-0.0`` collapses to ``0.0``; NaN and infinities
+  are rejected — they have no canonical JSON form and no place in a spec),
+* separators are fixed and output is pure ASCII.
+
+The ``run_id`` is deliberately excluded from the identity: it is a
+presentation label whose suffixes (``-k0``, ``-p1``) depend on which *other*
+axes a sweep happens to vary, while the fingerprint must name the scientific
+content of the run — protocol, seed, target set and config overrides — so
+that editing a sweep (adding a seed, adding a knob) still cache-hits every
+cell that was already computed.
+
+This module is dependency-free on purpose (it duck-types the spec via
+``as_dict``) so low-level layers can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+from repro.exceptions import StoreError
+
+__all__ = ["canonical_json", "run_fingerprint"]
+
+
+def _normalize(obj: Any) -> Any:
+    """Recursively normalise ``obj`` for canonical serialisation."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj) or math.isinf(obj):
+            raise StoreError(
+                f"cannot fingerprint non-finite float {obj!r}; run specs must "
+                "contain finite numbers only"
+            )
+        # Collapse -0.0 (repr-visible but numerically equal) to 0.0.
+        return obj + 0.0 if obj != 0.0 else 0.0
+    if isinstance(obj, dict):
+        normalized = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"cannot fingerprint mapping with non-string key {key!r}"
+                )
+            normalized[key] = _normalize(value)
+        return normalized
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(item) for item in obj]
+    raise StoreError(
+        f"cannot fingerprint object of type {type(obj).__name__}; "
+        "spec payloads must reduce to JSON builtins"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Byte-stable JSON: sorted keys, fixed separators, normalised floats.
+
+    Floats serialise via Python's shortest-round-trip ``repr``, which is
+    identical for equal IEEE-754 doubles on every supported platform, so the
+    output — and therefore any hash of it — is process- and hash-seed
+    independent.
+    """
+    return json.dumps(
+        _normalize(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def run_fingerprint(spec: Any) -> str:
+    """The content fingerprint (sha256 hex digest) of a run spec.
+
+    ``spec`` is anything exposing ``as_dict()`` — canonically a
+    :class:`repro.experiments.spec.RunSpec`.  Identity covers protocol, seed,
+    target spec and config overrides; the presentation ``run_id`` is excluded
+    (see module docstring).
+    """
+    payload = dict(spec.as_dict())
+    payload.pop("run_id", None)
+    digest = hashlib.sha256(canonical_json(payload).encode("ascii"))
+    return digest.hexdigest()

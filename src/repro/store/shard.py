@@ -1,0 +1,57 @@
+"""Deterministic sweep sharding across machines.
+
+A shard is a pure function of the expanded run list: shard ``i`` of ``n``
+takes every ``n``-th run starting at index ``i`` (``runs[i::n]``).  The
+strided layout balances shard sizes to within one run and — because
+``SweepSpec.expand()`` is deterministic — every machine computes the same
+partition from the same spec with no coordination.  Each shard writes its own
+:class:`~repro.store.runstore.RunStore` file; afterwards
+:func:`~repro.store.runstore.merge_stores` combines them into a store
+equivalent to an unsharded run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+from repro.exceptions import StoreError
+
+__all__ = ["parse_shard", "shard_runs"]
+
+_T = TypeVar("_T")
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``"I/N"`` shard designator (e.g. ``"0/2"``, ``"1/2"``)."""
+    head, sep, tail = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError("missing '/'")
+        index, count = int(head), int(tail)
+    except ValueError:
+        raise StoreError(
+            f"shard must look like I/N (e.g. 0/2), got {text!r}"
+        ) from None
+    validate_shard(index, count)
+    return index, count
+
+
+def validate_shard(index: int, count: int) -> None:
+    if count < 1:
+        raise StoreError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise StoreError(
+            f"shard index must be in [0, {count}), got {index} (shards are "
+            "zero-based: the first of two shards is 0/2)"
+        )
+
+
+def shard_runs(runs: Sequence[_T], index: int, count: int) -> List[_T]:
+    """Shard ``i`` of ``n``: the strided sublist ``runs[i::n]``.
+
+    The union of ``shard_runs(runs, i, n)`` over all ``i`` is exactly
+    ``runs`` with no overlap, and the partition depends only on run order —
+    never on hashing — so it is stable across processes and machines.
+    """
+    validate_shard(index, count)
+    return list(runs[index::count])

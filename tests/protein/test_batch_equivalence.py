@@ -126,6 +126,57 @@ class TestFoldingBatchEquivalence:
                 single.metrics.plddt, abs=1e-9
             )
 
+    def test_predict_batch_per_design_landscapes(self):
+        """One landscape per design (the campaign's batched baseline path)."""
+        from repro.protein.datasets import named_pdz_targets
+
+        targets = named_pdz_targets(seed=11)
+        folding = SurrogateAlphaFold(seed=3)
+        batch = folding.predict_batch(
+            [target.complex for target in targets],
+            [target.landscape for target in targets],
+            [target.complex.receptor.sequence for target in targets],
+            streams=[("baseline",)] * len(targets),
+        )
+        for target, batched in zip(targets, batch):
+            scalar = folding.predict(
+                target.complex, target.landscape, stream=("baseline",)
+            )
+            # Per-design RNG streams and grouped fitness_batch calls keep the
+            # multi-landscape batch bit-identical to scalar predictions.
+            assert batched.metrics == scalar.metrics
+            assert batched.fitness == scalar.fitness
+
+    def test_predict_batch_landscape_count_mismatch_rejected(
+        self, equivalence_target
+    ):
+        from repro.exceptions import ConfigurationError
+
+        folding = SurrogateAlphaFold(seed=3)
+        sequence = equivalence_target.complex.receptor.sequence
+        with pytest.raises(ConfigurationError, match="one landscape per sequence"):
+            folding.predict_batch(
+                equivalence_target.complex,
+                [equivalence_target.landscape] * 2,
+                [sequence],
+            )
+
+    def test_campaign_baseline_matches_scalar_predictions(self):
+        """The batched iteration-0 baseline equals per-target scalar folding."""
+        from repro.core.campaign import CampaignConfig, DesignCampaign
+        from repro.protein.datasets import named_pdz_targets
+
+        targets = named_pdz_targets(seed=11)
+        campaign = DesignCampaign(
+            targets, CampaignConfig(protocol="cont-v", seed=5, n_cycles=1)
+        )
+        baseline = campaign._baseline_metrics()
+        for target in targets:
+            scalar = campaign.models.folding.predict(
+                target.complex, target.landscape, stream=("baseline",)
+            )
+            assert baseline[target.name] == scalar.metrics
+
 
 class TestScoringVectorization:
     def test_score_matches_naive_pair_loop(self, equivalence_target):

@@ -1,0 +1,141 @@
+"""Fingerprint stability: the content identity of a run spec.
+
+The cache/resume contract hangs on the fingerprint being a pure function of
+the run's scientific content — stable across processes, hash seeds and
+knob-dict ordering, and sensitive to every field that changes the run.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exceptions import StoreError
+from repro.experiments import RunSpec, SweepSpec, TargetSpec
+from repro.store import canonical_json, run_fingerprint
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _spec(**kwargs) -> RunSpec:
+    base = dict(
+        run_id="im-rp-s0",
+        protocol="im-rp",
+        seed=0,
+        targets=TargetSpec(kind="named-pdz", seed=11),
+        overrides=(("n_cycles", 2), ("n_sequences", 4)),
+    )
+    base.update(kwargs)
+    return RunSpec(**base)
+
+
+class TestCanonicalJson:
+    def test_sorts_keys_and_fixes_separators(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_negative_zero_normalised(self):
+        assert canonical_json({"x": -0.0}) == canonical_json({"x": 0.0})
+
+    def test_tuples_and_lists_equivalent(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_non_finite_floats_rejected(self):
+        with pytest.raises(StoreError, match="non-finite"):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(StoreError, match="non-finite"):
+            canonical_json({"x": float("inf")})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(StoreError, match="non-string key"):
+            canonical_json({1: "x"})
+
+    def test_unconvertible_object_rejected(self):
+        with pytest.raises(StoreError, match="JSON builtins"):
+            canonical_json({"x": object()})
+
+
+class TestRunFingerprint:
+    def test_is_a_sha256_hex_digest(self):
+        fingerprint = run_fingerprint(_spec())
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
+
+    def test_stable_within_process(self):
+        assert run_fingerprint(_spec()) == run_fingerprint(_spec())
+
+    def test_invariant_to_override_ordering(self):
+        forward = _spec(overrides=(("n_cycles", 2), ("n_sequences", 4)))
+        reversed_ = _spec(overrides=(("n_sequences", 4), ("n_cycles", 2)))
+        assert run_fingerprint(forward) == run_fingerprint(reversed_)
+
+    def test_invariant_to_knob_dict_ordering_through_expand(self):
+        one = SweepSpec(
+            protocols=("im-rp",),
+            seeds=(0,),
+            knobs=({"max_in_flight_pipelines": 2, "n_cycles": 2},),
+        ).expand()[0]
+        other = SweepSpec(
+            protocols=("im-rp",),
+            seeds=(0,),
+            knobs=({"n_cycles": 2, "max_in_flight_pipelines": 2},),
+        ).expand()[0]
+        assert run_fingerprint(one) == run_fingerprint(other)
+
+    def test_run_id_is_presentation_not_identity(self):
+        """Adding axes relabels run ids; cached cells must still fingerprint-hit."""
+        assert run_fingerprint(_spec(run_id="im-rp-s0-k0")) == run_fingerprint(_spec())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"protocol": "cont-v"},
+            {"seed": 1},
+            {"targets": TargetSpec(kind="named-pdz", seed=12)},
+            {"targets": TargetSpec(kind="expanded-pdz", seed=11, n_targets=3)},
+            {"overrides": (("n_cycles", 3), ("n_sequences", 4))},
+            {"overrides": (("n_cycles", 2),)},
+            {"overrides": (("n_cycles", 2), ("n_sequences", 4), ("max_retries", 5))},
+        ],
+    )
+    def test_any_field_change_changes_the_hash(self, change):
+        assert run_fingerprint(_spec(**change)) != run_fingerprint(_spec())
+
+    def test_stable_across_hash_seeds_in_subprocesses(self):
+        """sha256 of canonical JSON must not inherit PYTHONHASHSEED instability."""
+        code = (
+            "from repro.experiments import RunSpec, TargetSpec\n"
+            "from repro.store import run_fingerprint\n"
+            "spec = RunSpec(run_id='x', protocol='im-rp', seed=3,\n"
+            "               targets=TargetSpec(kind='named-pdz', seed=11),\n"
+            "               overrides=(('n_cycles', 2), ('duration_speedup', 2.5)))\n"
+            "print(run_fingerprint(spec))\n"
+        )
+        digests = []
+        for hash_seed in ("0", "4242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1]
+        local = run_fingerprint(
+            RunSpec(
+                run_id="x",
+                protocol="im-rp",
+                seed=3,
+                targets=TargetSpec(kind="named-pdz", seed=11),
+                overrides=(("n_cycles", 2), ("duration_speedup", 2.5)),
+            )
+        )
+        assert digests[0] == local
