@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Fault-tolerant multi-worker sweeps with dynamic work stealing.
+
+Walks the full :mod:`repro.orchestrate` workflow on a small seeded sweep:
+
+1. expand the sweep into a shared queue directory (the manifest holds every
+   run's fingerprint + spec; claims and done markers are plain files mutated
+   with atomic primitives — no server, no network);
+2. simulate a worker that died mid-run by planting a claim whose heartbeat
+   went stale an hour ago;
+3. run two live workers concurrently — they claim runs dynamically, and one
+   of them *steals* the dead worker's run when its lease is found expired;
+4. snapshot progress, then finalize: merge the per-worker stores into one
+   canonical store and report the cross-protocol matrix straight from it.
+
+Usage::
+
+    python examples/orchestrated_sweep.py [--keep DIR]
+
+The equivalent command-line workflow (workers may run on different nodes
+sharing the queue directory)::
+
+    python -m repro.orchestrate init --queue Q --seeds 0 1 --cycles 2 --sequences 6
+    python -m repro.orchestrate worker --queue Q &
+    python -m repro.orchestrate worker --queue Q &
+    python -m repro.orchestrate status --queue Q
+    python -m repro.orchestrate finalize --queue Q --output sweep.jsonl
+    python -m repro.store report sweep.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.analysis import format_protocol_matrix, format_queue_progress
+from repro.analysis.comparison import protocol_matrix_from_store
+from repro.experiments import SweepSpec, TargetSpec
+from repro.orchestrate import WorkQueue, finalize_queue, queue_progress, run_worker
+from repro.orchestrate.queue import atomic_write_json
+
+SWEEP = SweepSpec(
+    protocols=("im-rp", "cont-v"),
+    seeds=(0, 1),
+    targets=TargetSpec(kind="named-pdz", seed=7),
+    base={"n_cycles": 2, "n_sequences": 6},
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep", metavar="DIR", default=None,
+        help="use DIR as the queue directory instead of a temp directory",
+    )
+    args = parser.parse_args()
+    workdir = Path(args.keep) if args.keep else Path(tempfile.mkdtemp())
+
+    # 1. Materialise the sweep into the shared queue directory.
+    queue = WorkQueue.create(workdir / "queue", SWEEP)
+    entries = queue.entries()
+    print(f"queue {queue.path}: {len(entries)} runs")
+
+    # 2. A worker "died" holding this run: stale heartbeat, no done marker.
+    victim = entries[0]
+    stale = time.time() - 3600.0
+    atomic_write_json(
+        queue.claim_path(victim.fingerprint),
+        {"worker": "crashed-node", "claimed_at": stale, "heartbeat_at": stale},
+    )
+    print(f"planted a dead worker's claim on {victim.spec.run_id}")
+
+    # 3. Two live workers drain the queue; one steals the dead claim.
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(run_worker, queue, worker_id=f"w{i}", lease_seconds=5.0)
+            for i in range(2)
+        ]
+        outcomes = [future.result() for future in futures]
+    for outcome in outcomes:
+        stolen = f" (stole: {', '.join(outcome.stolen)})" if outcome.stolen else ""
+        print(
+            f"worker {outcome.worker_id}: {outcome.n_executed} runs in "
+            f"{outcome.wall_seconds:.2f}s{stolen}"
+        )
+
+    # 4. Progress snapshot, canonical merge, report from disk.
+    print()
+    print(format_queue_progress(queue_progress(queue, lease_seconds=5.0)))
+    merged = finalize_queue(queue, workdir / "sweep.jsonl")
+    print(f"\nfinalized -> {merged.path} ({len(merged)} runs)\n")
+    print(format_protocol_matrix(protocol_matrix_from_store(merged)))
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ paper reports:
 * :mod:`repro.analysis.comparison` — CONT-V vs IM-RP head-to-head (Table I).
 * :mod:`repro.analysis.reporting` — plain-text tables and figure series used
   by the examples and the benchmark harness.
+* :mod:`repro.analysis.progress` — sweep progress/throughput snapshots for
+  orchestrated (multi-worker) campaigns.
 """
 
 from repro.analysis.utilization import UtilizationReport, utilization_report
@@ -20,6 +22,7 @@ from repro.analysis.comparison import (
     protocol_matrix,
     table1,
 )
+from repro.analysis.progress import QueueProgress, format_queue_progress
 from repro.analysis.reporting import (
     format_iteration_table,
     format_protocol_matrix,
@@ -37,6 +40,8 @@ __all__ = [
     "Table1Row",
     "protocol_matrix",
     "ProtocolMatrixRow",
+    "QueueProgress",
+    "format_queue_progress",
     "format_protocol_matrix",
     "format_iteration_table",
     "format_table1",

@@ -1,0 +1,84 @@
+"""Sweep-progress and throughput reporting for orchestrated campaigns.
+
+The orchestration coordinator (:mod:`repro.orchestrate.coordinator`) reduces
+a work-queue directory to a :class:`QueueProgress`; this module owns the
+aggregate arithmetic and the plain-text rendering, keeping the analysis layer
+the single home of report formatting (same split as the protocol matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["QueueProgress", "format_queue_progress"]
+
+
+@dataclass(frozen=True)
+class QueueProgress:
+    """A point-in-time snapshot of one work queue."""
+
+    n_runs: int
+    n_done: int
+    #: Claimed with a live (unexpired) lease, per the observing clock.
+    n_running: int
+    #: Claimed but lease-expired: candidates for work stealing.
+    n_stale: int
+    #: Neither done nor claimed.
+    n_unclaimed: int
+    #: worker id -> number of done markers it published.
+    done_by_worker: Dict[str, int] = field(default_factory=dict)
+    #: run ids currently claimed, with their owner and lease age in seconds.
+    running: List[Tuple[str, str, float]] = field(default_factory=list)
+    #: Sum of executed wall_seconds over all done runs.
+    done_wall_seconds: float = 0.0
+    #: (first, last) completion timestamps over the done markers, if any.
+    completion_span: Optional[Tuple[float, float]] = None
+
+    @property
+    def fraction_done(self) -> float:
+        return self.n_done / self.n_runs if self.n_runs else 0.0
+
+    @property
+    def throughput_per_minute(self) -> Optional[float]:
+        """Completed runs per minute over the observed completion span."""
+        if self.completion_span is None or self.n_done < 2:
+            return None
+        first, last = self.completion_span
+        if last <= first:
+            return None
+        return 60.0 * (self.n_done - 1) / (last - first)
+
+    @property
+    def eta_seconds(self) -> Optional[float]:
+        """Naive drain estimate: remaining runs at the observed throughput."""
+        rate = self.throughput_per_minute
+        remaining = self.n_runs - self.n_done
+        if rate is None or rate <= 0.0 or remaining == 0:
+            return None
+        return 60.0 * remaining / rate
+
+
+def format_queue_progress(progress: QueueProgress) -> str:
+    """Render the snapshot as the ``status`` subcommand's report."""
+    lines = [
+        f"Sweep progress: {progress.n_done}/{progress.n_runs} runs done "
+        f"({100.0 * progress.fraction_done:.0f}%)",
+        f"  running (live lease):   {progress.n_running}",
+        f"  stale (stealable):      {progress.n_stale}",
+        f"  unclaimed:              {progress.n_unclaimed}",
+        f"  executed wall time:     {progress.done_wall_seconds:.2f}s",
+    ]
+    rate = progress.throughput_per_minute
+    if rate is not None:
+        lines.append(f"  throughput:             {rate:.1f} runs/min")
+    eta = progress.eta_seconds
+    if eta is not None:
+        lines.append(f"  est. time to drain:     {eta:.0f}s")
+    if progress.done_by_worker:
+        lines.append("  completed by worker:")
+        for worker in sorted(progress.done_by_worker):
+            lines.append(f"    {worker:<28} {progress.done_by_worker[worker]}")
+    for run_id, owner, age in progress.running:
+        lines.append(f"  in flight: {run_id:<24} {owner} (lease age {age:.1f}s)")
+    return "\n".join(lines)

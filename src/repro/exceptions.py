@@ -72,6 +72,10 @@ class StoreError(ReproError):
     """A persistent run store is corrupt, incompatible or misused."""
 
 
+class OrchestrationError(ReproError):
+    """A work queue is missing, inconsistent or cannot be finalized."""
+
+
 class ProteinError(ReproError):
     """Base class for protein-substrate errors."""
 

@@ -45,14 +45,22 @@ from repro.experiments.suite import EXECUTORS, CampaignSuite
 from repro.store import RunStore, parse_shard
 from repro.utils.serialization import to_jsonable
 
-__all__ = ["build_parser", "main"]
+__all__ = ["add_sweep_arguments", "build_parser", "main", "positive_int", "sweep_from_args"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Run a campaign sweep (protocols x seeds x knobs) in parallel.",
-    )
+def positive_int(text: str) -> int:
+    """Argparse type for values that must be >= 1 (rejected at parse time)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the sweep-defining flags (shared with ``repro.orchestrate init``)."""
     parser.add_argument(
         "--protocols", nargs="+", default=["im-rp", "cont-v"],
         help="registered protocol names to sweep (default: im-rp cont-v)",
@@ -69,24 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--target-seed", type=int, default=0, help="dataset seed of the target set"
     )
     parser.add_argument(
-        "--n-targets", type=int, default=70,
+        "--n-targets", type=positive_int, default=70,
         help="size of the expanded-pdz set (ignored for named-pdz)",
     )
     parser.add_argument(
-        "--cycles", type=int, default=None, help="design cycles per run (paper: 4)"
+        "--cycles", type=positive_int, default=None,
+        help="design cycles per run (paper: 4)",
     )
     parser.add_argument(
-        "--sequences", type=int, default=None,
+        "--sequences", type=positive_int, default=None,
         help="sequences generated per cycle (paper: 10)",
     )
     parser.add_argument(
-        "--max-in-flight", nargs="+", type=int, default=None, metavar="N",
+        "--max-in-flight", nargs="+", type=positive_int, default=None, metavar="N",
         help="sweep the coordinator concurrency cap over these values",
     )
     parser.add_argument(
         "--scheduler", choices=available_schedulers(), default=None,
         help="agent placement policy for pilot-runtime protocols",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run a campaign sweep (protocols x seeds x knobs) in parallel.",
+    )
+    add_sweep_arguments(parser)
     parser.add_argument(
         "--executor", choices=EXECUTORS, default="process",
         help="how runs execute: process pool (default), thread pool, or serial",
@@ -124,7 +141,8 @@ def _list_protocols() -> str:
     return "\n".join(lines)
 
 
-def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
+def sweep_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build the :class:`SweepSpec` from parsed sweep flags (see above)."""
     base: Dict[str, object] = {}
     if args.cycles is not None:
         base["n_cycles"] = args.cycles
@@ -133,7 +151,10 @@ def _sweep_from_args(args: argparse.Namespace) -> SweepSpec:
     if args.scheduler is not None:
         base["scheduler_policy"] = args.scheduler
     knobs: Tuple[Dict[str, object], ...] = ({},)
-    if args.max_in_flight:
+    # `is not None`, not truthiness: argparse can hand back an empty list
+    # (`--max-in-flight` with zero values errors out at parse time today, but
+    # programmatic Namespace construction may not go through argparse).
+    if args.max_in_flight is not None:
         knobs = tuple(
             {"max_in_flight_pipelines": value} for value in args.max_in_flight
         )
@@ -175,7 +196,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_list_protocols())
         return 0
     try:
-        sweep = _sweep_from_args(args)
+        sweep = sweep_from_args(args)
         shard = parse_shard(args.shard) if args.shard else None
         store = RunStore(args.store) if args.store else None
         suite = CampaignSuite(

@@ -1,0 +1,57 @@
+"""Fault-tolerant multi-worker sweep orchestration with dynamic work stealing.
+
+Where :mod:`repro.experiments` executes a sweep inside one process and
+:mod:`repro.store` makes the results durable, this package coordinates *many
+worker processes* — on one machine or many nodes sharing a filesystem — so
+uneven run times stop costing wall-clock: the pilot-style pattern of the
+paper's IM-RP runtime, applied to the reproduction's own campaign sweeps.
+
+* :mod:`repro.orchestrate.queue` — the shared queue directory: an expanded
+  sweep manifest plus fingerprint-keyed claim/done marker files, all mutated
+  with atomic filesystem primitives (``O_EXCL`` create, temp + rename).  No
+  network, no server.
+* :mod:`repro.orchestrate.lease` — heartbeat leases over claim files: live
+  workers keep their claims fresh; claims of crashed or stalled workers
+  expire and are *stolen* by survivors, so no run is ever lost.
+* :mod:`repro.orchestrate.worker` — the claim/execute/stream/mark-done loop
+  (``python -m repro.orchestrate worker``), streaming finished runs into a
+  per-worker :class:`~repro.store.RunStore`.
+* :mod:`repro.orchestrate.coordinator` — ``status`` progress snapshots and
+  ``finalize``, which merges the per-worker stores into one canonical,
+  fingerprint-sorted store feeding
+  :func:`repro.analysis.comparison.protocol_matrix_from_store`.
+
+Determinism contract, extended to distributed execution: for a fixed sweep
+the finalized store's science bytes are independent of worker count, claim
+interleaving and steal history, and (timing stripped) byte-identical to a
+canonicalised serial ``CampaignSuite.run(store=...)`` store.
+"""
+
+from repro.orchestrate.coordinator import finalize_queue, queue_progress
+from repro.orchestrate.lease import (
+    ClaimLease,
+    Heartbeat,
+    read_lease,
+    release_claim,
+    try_claim,
+    try_steal,
+)
+from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
+from repro.orchestrate.worker import WorkerOutcome, default_worker_id, run_worker
+
+__all__ = [
+    "ClaimLease",
+    "Heartbeat",
+    "QueueEntry",
+    "WorkQueue",
+    "WorkerOutcome",
+    "default_worker_id",
+    "finalize_queue",
+    "queue_progress",
+    "read_lease",
+    "release_claim",
+    "run_worker",
+    "try_claim",
+    "try_steal",
+    "validate_worker_id",
+]

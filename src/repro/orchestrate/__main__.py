@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.orchestrate``."""
+
+from repro.orchestrate.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

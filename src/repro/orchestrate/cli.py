@@ -1,0 +1,203 @@
+"""Command-line front end: ``python -m repro.orchestrate``.
+
+Drives a fault-tolerant multi-worker sweep over a shared queue directory —
+any filesystem every worker can reach (one machine's /tmp, or an HPC
+parallel filesystem across nodes).  The canonical two-worker session::
+
+    # 1. Materialise the sweep into a queue directory (same flags as
+    #    `python -m repro.experiments`).
+    python -m repro.orchestrate init --queue Q --protocols im-rp cont-v --seeds 0 1
+
+    # 2. Start workers — anywhere that mounts Q; each claims runs
+    #    dynamically, heartbeats its lease and streams to its own store.
+    python -m repro.orchestrate worker --queue Q &
+    python -m repro.orchestrate worker --queue Q &
+
+    # 3. Watch the sweep drain (live/stale/unclaimed, throughput, ETA).
+    python -m repro.orchestrate status --queue Q
+
+    # 4. Merge the per-worker stores into one canonical store.
+    python -m repro.orchestrate finalize --queue Q --output sweep.jsonl
+    python -m repro.store report sweep.jsonl
+
+A worker that dies mid-run loses nothing: its claim's lease expires and a
+surviving worker steals the run.  Because claims are keyed by RunSpec
+fingerprint and seeded runs are deterministic, the finalized store is
+independent of worker count, interleaving and steals (and with
+``--strip-timing``, byte-identical to a pruned serial-suite store).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.progress import format_queue_progress
+from repro.exceptions import ReproError
+from repro.experiments.cli import add_sweep_arguments, positive_int, sweep_from_args
+from repro.orchestrate.coordinator import finalize_queue, queue_progress
+from repro.orchestrate.queue import QueueEntry, WorkQueue
+from repro.orchestrate.worker import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_POLL_SECONDS,
+    run_worker,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrate",
+        description="Fault-tolerant multi-worker sweep orchestration with "
+        "dynamic work stealing over a shared queue directory.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser(
+        "init", help="expand a sweep into a queue directory's manifest"
+    )
+    init.add_argument("--queue", required=True, metavar="DIR", help="queue directory")
+    add_sweep_arguments(init)
+
+    worker = commands.add_parser(
+        "worker", help="claim and execute runs from a queue until it drains"
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR", help="queue directory")
+    worker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="lease-owner name and store-file stem (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="stream finished runs here instead of <queue>/stores/<id>.jsonl "
+        "(pass it to finalize via --extra-store)",
+    )
+    worker.add_argument(
+        "--lease", type=_positive_float, default=DEFAULT_LEASE_SECONDS, metavar="S",
+        help=f"seconds without a heartbeat before peers may steal a claim "
+        f"(default: {DEFAULT_LEASE_SECONDS:g})",
+    )
+    worker.add_argument(
+        "--poll", type=_positive_float, default=DEFAULT_POLL_SECONDS, metavar="S",
+        help="idle sleep between passes when nothing is claimable "
+        f"(default: {DEFAULT_POLL_SECONDS:g})",
+    )
+    worker.add_argument(
+        "--max-runs", type=positive_int, default=None, metavar="N",
+        help="exit after executing N runs (default: run until the sweep drains)",
+    )
+    worker.add_argument(
+        "--no-wait", action="store_true",
+        help="exit when nothing is claimable instead of polling for "
+        "stealable leases (for fixed-size fleets)",
+    )
+
+    status = commands.add_parser(
+        "status", help="report progress, throughput and in-flight leases"
+    )
+    status.add_argument("--queue", required=True, metavar="DIR", help="queue directory")
+    status.add_argument(
+        "--lease", type=_positive_float, default=DEFAULT_LEASE_SECONDS, metavar="S",
+        help="lease the workers were started with (sets the live/stale split)",
+    )
+
+    finalize = commands.add_parser(
+        "finalize",
+        help="merge the per-worker stores into one canonical store",
+    )
+    finalize.add_argument(
+        "--queue", required=True, metavar="DIR", help="queue directory"
+    )
+    finalize.add_argument(
+        "--output", required=True, metavar="PATH", help="merged store to write"
+    )
+    finalize.add_argument(
+        "--partial", action="store_true",
+        help="merge whatever is done instead of requiring a drained queue",
+    )
+    finalize.add_argument(
+        "--strip-timing", action="store_true",
+        help="zero wall_seconds in the output (byte-comparable across "
+        "executions; see `repro.store prune --strip-timing`)",
+    )
+    finalize.add_argument(
+        "--extra-store", action="append", default=[], metavar="PATH",
+        help="additional worker store written outside <queue>/stores/ "
+        "(repeatable)",
+    )
+    return parser
+
+
+def _worker_log(event: str, entry: QueueEntry) -> None:
+    labels = {
+        "claim": "claimed", "steal": "stole (expired lease)",
+        "done": "finished", "heal": "healed (marker republished)",
+    }
+    print(f"  {labels.get(event, event)}: {entry.spec.run_id}", flush=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "init":
+            sweep = sweep_from_args(args)
+            queue = WorkQueue.create(args.queue, sweep)
+            print(
+                f"Initialised queue {queue.path}: {len(queue.entries())} runs "
+                f"({len(sweep.protocols)} protocols x {len(sweep.seeds)} seeds"
+                f"{f' x {len(sweep.knobs)} knobs' if len(sweep.knobs) > 1 else ''})"
+            )
+        elif args.command == "worker":
+            outcome = run_worker(
+                args.queue,
+                worker_id=args.worker_id,
+                store_path=args.store,
+                lease_seconds=args.lease,
+                poll_seconds=args.poll,
+                max_runs=args.max_runs,
+                wait=not args.no_wait,
+                on_progress=_worker_log,
+            )
+            stolen = f", {len(outcome.stolen)} stolen" if outcome.stolen else ""
+            healed = f", {len(outcome.healed)} healed" if outcome.healed else ""
+            print(
+                f"Worker {outcome.worker_id}: executed {outcome.n_executed} "
+                f"run(s){stolen}{healed} in {outcome.wall_seconds:.2f}s "
+                f"-> {outcome.store_path}"
+            )
+        elif args.command == "status":
+            print(
+                format_queue_progress(
+                    queue_progress(args.queue, lease_seconds=args.lease)
+                )
+            )
+        elif args.command == "finalize":
+            merged = finalize_queue(
+                args.queue,
+                args.output,
+                require_complete=not args.partial,
+                strip_timing=args.strip_timing,
+                extra_stores=args.extra_store,
+            )
+            print(
+                f"Finalized queue {args.queue} -> {merged.path} "
+                f"({len(merged)} runs"
+                f"{', timing stripped' if args.strip_timing else ''})"
+            )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0

@@ -1,0 +1,175 @@
+"""Atomic claim files and heartbeat leases.
+
+A claim file is the queue's mutual-exclusion primitive.  Its lifecycle:
+
+* **first claim** — ``os.open(path, O_CREAT | O_EXCL)``: exactly one worker
+  wins the create; every other contender gets ``FileExistsError`` and moves
+  on.  This is the only coordination step that must be race-free, and the
+  kernel guarantees it.
+* **heartbeat** — while executing, the owner periodically rewrites the claim
+  (temp file + ``os.replace``) with a fresh ``heartbeat_at``, extending the
+  lease.
+* **steal** — any worker that observes ``now - heartbeat_at > lease_seconds``
+  may take the claim over by renaming its own claim content onto the path.
+  Two simultaneous stealers cannot corrupt anything: renames are atomic, the
+  last writer owns the file, and if both proceed to execute the run anyway
+  the duplicate is harmless — seeded runs are deterministic and the store
+  merge dedups by fingerprint.  Stealing trades a little wasted compute for
+  never losing a run to a dead worker.
+
+A claim file that exists but does not parse (a crash between the ``O_EXCL``
+create and the content write, or a torn write on a non-atomic network
+filesystem) is *not* trusted and *not* fatal: its mtime stands in for the
+heartbeat, so a torn claim is stealable exactly when a healthy one would be.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.orchestrate.queue import atomic_write_json
+
+__all__ = [
+    "ClaimLease",
+    "Heartbeat",
+    "read_lease",
+    "refresh_lease",
+    "release_claim",
+    "try_claim",
+    "try_steal",
+]
+
+
+@dataclass(frozen=True)
+class ClaimLease:
+    """The observable state of one claim file."""
+
+    worker: str
+    claimed_at: float
+    heartbeat_at: float
+    #: True when the file's JSON was unreadable and mtime stood in for the
+    #: heartbeat (the claim still gates execution, it is just not trusted
+    #: beyond its timestamp).
+    torn: bool = False
+
+    def age(self, now: Optional[float] = None) -> float:
+        return (time.time() if now is None else now) - self.heartbeat_at
+
+    def expired(self, lease_seconds: float, now: Optional[float] = None) -> bool:
+        return self.age(now) > lease_seconds
+
+
+def _lease_payload(worker: str, claimed_at: float) -> dict:
+    now = time.time()
+    return {"worker": worker, "claimed_at": claimed_at, "heartbeat_at": now}
+
+
+def read_lease(path: Path) -> Optional[ClaimLease]:
+    """The lease recorded at ``path``; ``None`` when no claim file exists."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return ClaimLease(
+            worker=str(payload["worker"]),
+            claimed_at=float(payload["claimed_at"]),
+            heartbeat_at=float(payload["heartbeat_at"]),
+        )
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, TypeError, KeyError):
+        # Torn/garbled claim: fall back to the file's mtime so it expires on
+        # the same schedule as a healthy claim whose owner stopped beating.
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return None  # vanished between read and stat: no claim
+        return ClaimLease(
+            worker="<unreadable>", claimed_at=mtime, heartbeat_at=mtime, torn=True
+        )
+
+
+def try_claim(path: Path, worker: str) -> bool:
+    """Attempt the first claim of ``path``; True iff this worker won it.
+
+    The ``O_CREAT | O_EXCL`` open is the atomic winner-takes-all step; the
+    content write that follows is best-effort (a crash inside it leaves a
+    torn claim, which :func:`read_lease` degrades to an mtime lease).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        descriptor = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+    except FileExistsError:
+        return False
+    try:
+        payload = _lease_payload(worker, claimed_at=time.time())
+        os.write(descriptor, (json.dumps(payload, sort_keys=True) + "\n").encode())
+    finally:
+        os.close(descriptor)
+    return True
+
+
+def try_steal(path: Path, worker: str, lease_seconds: float) -> bool:
+    """Take over an expired claim; True iff this worker now holds the lease.
+
+    Only steals when the current lease (or the mtime of a torn claim) is
+    older than ``lease_seconds``.  After the rename the claim is re-read: if
+    a racing stealer renamed over us in the window, they own it and we report
+    failure — a best-effort tiebreak; the residual double-own window is
+    benign (see the module docstring).
+    """
+    lease = read_lease(path)
+    if lease is None:
+        # Claim vanished (owner released it); take the fast path.
+        return try_claim(path, worker)
+    if not lease.expired(lease_seconds):
+        return False
+    atomic_write_json(path, _lease_payload(worker, claimed_at=time.time()))
+    after = read_lease(path)
+    return after is not None and after.worker == worker
+
+
+def refresh_lease(path: Path, worker: str, claimed_at: float) -> None:
+    """Rewrite the claim with a fresh heartbeat (atomic rename)."""
+    atomic_write_json(path, _lease_payload(worker, claimed_at))
+
+
+def release_claim(path: Path) -> None:
+    """Drop a claim so other workers can retry immediately (e.g. on failure)."""
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class Heartbeat:
+    """Background thread refreshing one claim's lease while a run executes.
+
+    Beats every ``lease_seconds / 4`` (floored at 50 ms) so a healthy worker
+    misses the lease deadline only if it stalls for most of the lease — the
+    failure the steal path exists for.
+    """
+
+    def __init__(self, path: Path, worker: str, lease_seconds: float) -> None:
+        self._path = path
+        self._worker = worker
+        self._claimed_at = time.time()
+        self._interval = max(0.05, lease_seconds / 4.0)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            refresh_lease(self._path, self._worker, self._claimed_at)
+
+    def __enter__(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()

@@ -1,0 +1,252 @@
+"""The filesystem-coordinated work queue: one directory, no network.
+
+A queue is a directory shared by every worker (a local path for
+multi-process runs on one machine, a parallel filesystem for multi-node
+ones — the coordination medium the paper's HPC platforms already have).
+Layout::
+
+    queue/
+      manifest.json          # the sweep, expanded: fingerprint + tagged spec
+      claims/<fp>.json       # lease files  (atomic O_EXCL create / rename)
+      done/<fp>.json         # completion markers (atomic rename)
+      stores/<worker>.jsonl  # per-worker RunStore files
+
+Coordination rules, all enforced with POSIX-atomic primitives:
+
+* a run is **claimable** when it has no done marker and either no claim file
+  (first claim wins via ``os.open(..., O_CREAT | O_EXCL)``) or a claim whose
+  lease expired (stolen via write-temp + ``os.replace``);
+* every marker/manifest write goes through a temp file + ``os.replace``, so
+  readers never observe a torn manifest or done marker; a torn *claim* file
+  (crash between the ``O_EXCL`` create and the first content write) is
+  handled by falling back to the file's mtime as its heartbeat;
+* completion is ``store append -> done marker`` in that order, so a done
+  marker always has a backing store record; the reverse crash (record
+  appended, marker missing) is healed by the owning worker on restart, or by
+  any other worker simply re-executing the run — records are keyed by
+  fingerprint and seeded runs are deterministic, so duplicates merge cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import OrchestrationError
+from repro.experiments.spec import RunSpec, SweepSpec
+from repro.store.codec import decode_run_spec, encode_run_spec
+from repro.store.fingerprint import run_fingerprint
+
+__all__ = [
+    "QUEUE_SCHEMA_VERSION",
+    "QueueEntry",
+    "WorkQueue",
+    "atomic_write_json",
+    "validate_worker_id",
+]
+
+#: Layout version stamped into ``manifest.json``.
+QUEUE_SCHEMA_VERSION = 1
+
+_WORKER_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write ``payload`` as JSON via a temp file + ``os.replace``.
+
+    Readers either see the previous content or the full new content, never a
+    torn file — ``os.replace`` is atomic on POSIX and Windows.  The temp file
+    name carries the pid *and* thread id so concurrent writers to one target
+    (other processes, or worker threads sharing a process) cannot collide on
+    the temp path itself.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = (
+        path.parent
+        / f".tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
+    )
+    with temp.open("w", encoding="utf-8", newline="\n") as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a coordination file; ``None`` for missing/torn/non-dict content."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One unit of work: a fingerprint-keyed campaign run."""
+
+    fingerprint: str
+    spec: RunSpec
+
+
+class WorkQueue:
+    """Handle on one queue directory (see the module docstring for layout)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- layout ---------------------------------------------------------------- #
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    @property
+    def claims_dir(self) -> Path:
+        return self.path / "claims"
+
+    @property
+    def done_dir(self) -> Path:
+        return self.path / "done"
+
+    @property
+    def stores_dir(self) -> Path:
+        return self.path / "stores"
+
+    def claim_path(self, fingerprint: str) -> Path:
+        return self.claims_dir / f"{fingerprint}.json"
+
+    def done_path(self, fingerprint: str) -> Path:
+        return self.done_dir / f"{fingerprint}.json"
+
+    def worker_store_path(self, worker_id: str) -> Path:
+        return self.stores_dir / f"{worker_id}.jsonl"
+
+    # -- initialisation -------------------------------------------------------- #
+
+    @classmethod
+    def create(cls, path: Union[str, Path], sweep: SweepSpec) -> "WorkQueue":
+        """Initialise ``path`` as the queue for ``sweep``.
+
+        The manifest holds the *expanded* sweep — every run's fingerprint and
+        round-trippable spec — so workers need no sweep-construction flags
+        and every worker sees the identical, ordered work list.  Re-creating
+        an existing queue is allowed only for the same sweep (same
+        fingerprint list); anything else is a hard error rather than a silent
+        mix of two campaigns in one directory.
+        """
+        queue = cls(path)
+        runs = sweep.expand()
+        fingerprints = [run_fingerprint(spec) for spec in runs]
+        existing = _read_json(queue.manifest_path)
+        if existing is not None:
+            stale = [run.get("fingerprint") for run in existing.get("runs", [])]
+            if stale != fingerprints:
+                raise OrchestrationError(
+                    f"queue {queue.path} already holds a different sweep "
+                    f"({len(stale)} runs); use a fresh directory"
+                )
+        for directory in (queue.claims_dir, queue.done_dir, queue.stores_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            queue.manifest_path,
+            {
+                "schema_version": QUEUE_SCHEMA_VERSION,
+                "n_runs": len(runs),
+                "runs": [
+                    {"fingerprint": fingerprint, "spec": encode_run_spec(spec)}
+                    for fingerprint, spec in zip(fingerprints, runs)
+                ],
+            },
+        )
+        return queue
+
+    # -- manifest -------------------------------------------------------------- #
+
+    def entries(self) -> List[QueueEntry]:
+        """The ordered work list (sweep order, decoded specs)."""
+        payload = _read_json(self.manifest_path)
+        if payload is None:
+            raise OrchestrationError(
+                f"{self.path} is not an initialised work queue (no readable "
+                "manifest.json; run `python -m repro.orchestrate init` first)"
+            )
+        version = payload.get("schema_version")
+        if version != QUEUE_SCHEMA_VERSION:
+            raise OrchestrationError(
+                f"queue {self.path} has manifest schema_version {version!r}; "
+                f"this build reads version {QUEUE_SCHEMA_VERSION}"
+            )
+        return [
+            QueueEntry(
+                fingerprint=run["fingerprint"], spec=decode_run_spec(run["spec"])
+            )
+            for run in payload["runs"]
+        ]
+
+    # -- completion markers ---------------------------------------------------- #
+
+    def is_done(self, fingerprint: str) -> bool:
+        return self.done_path(fingerprint).exists()
+
+    def mark_done(
+        self,
+        fingerprint: str,
+        *,
+        worker_id: str,
+        run_id: str,
+        wall_seconds: float,
+    ) -> None:
+        """Atomically publish completion of ``fingerprint``.
+
+        Idempotent under the benign double-execution race (two workers both
+        finished a stolen run): the last marker wins and both describe the
+        same deterministic result.
+        """
+        atomic_write_json(
+            self.done_path(fingerprint),
+            {
+                "fingerprint": fingerprint,
+                "run_id": run_id,
+                "worker": worker_id,
+                "wall_seconds": wall_seconds,
+                "completed_at": time.time(),
+            },
+        )
+
+    def done_record(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        return _read_json(self.done_path(fingerprint))
+
+    def done_fingerprints(self) -> List[str]:
+        if not self.done_dir.is_dir():
+            return []
+        return sorted(
+            path.stem for path in self.done_dir.glob("*.json")
+        )
+
+    # -- stores ---------------------------------------------------------------- #
+
+    def worker_store_paths(self) -> List[Path]:
+        """Every per-worker store present, in sorted (worker-id) order."""
+        if not self.stores_dir.is_dir():
+            return []
+        return sorted(self.stores_dir.glob("*.jsonl"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WorkQueue({str(self.path)!r})"
+
+
+def validate_worker_id(worker_id: str) -> str:
+    """Worker ids name lease owners and store files; keep them path-safe."""
+    if not _WORKER_ID_RE.match(worker_id):
+        raise OrchestrationError(
+            f"worker id must match [A-Za-z0-9._-]+ (it names files), "
+            f"got {worker_id!r}"
+        )
+    return worker_id

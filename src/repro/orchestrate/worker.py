@@ -1,0 +1,203 @@
+"""The worker loop: claim, execute, stream, mark done — until the sweep drains.
+
+One worker is one ``run_worker`` call (typically one
+``python -m repro.orchestrate worker`` process, possibly on another node
+sharing the queue directory).  Each pass over the manifest the worker:
+
+1. skips runs with a done marker;
+2. heals its own crash window — a fingerprint already in *its* store but not
+   marked done (the crash happened between append and marker) is marked done
+   without re-executing;
+3. claims the first available run (``O_EXCL`` create, or stealing a claim
+   whose lease expired — that is the dynamic balancing: a fast worker drains
+   what a slow or dead one cannot) and executes it under a heartbeat;
+4. appends the finished record to its per-worker
+   :class:`~repro.store.RunStore` and publishes the done marker.
+
+When nothing is claimable the worker either sleeps and re-polls (default:
+someone must outlive stalled peers to steal their leases) or returns
+(``wait=False``, for fixed-size worker fleets whose launcher re-invokes or
+finalizes).  The loop ends when every manifest run has a done marker.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.core.results import CampaignResult
+from repro.exceptions import OrchestrationError
+from repro.experiments.spec import RunSpec
+from repro.experiments.suite import SuiteRunRecord, execute_run
+from repro.orchestrate.lease import Heartbeat, release_claim, try_claim, try_steal
+from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
+from repro.store.runstore import RunStore
+
+__all__ = ["WorkerOutcome", "default_worker_id", "run_worker"]
+
+#: Seconds a claim may go without a heartbeat before peers may steal it.
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Seconds an idle (nothing claimable) worker sleeps between manifest passes.
+DEFAULT_POLL_SECONDS = 0.5
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>``: unique per live worker process, path-safe."""
+    host = socket.gethostname().replace("/", "-") or "worker"
+    return f"{host}-{os.getpid()}"
+
+
+@dataclass
+class WorkerOutcome:
+    """What one worker contributed to the sweep."""
+
+    worker_id: str
+    store_path: Path
+    #: Run ids this worker executed (in execution order).
+    executed: List[str] = field(default_factory=list)
+    #: Executed run ids that were stolen from an expired lease.
+    stolen: List[str] = field(default_factory=list)
+    #: Fingerprints healed from this worker's own store (crash between
+    #: append and done marker) without re-execution.
+    healed: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.executed)
+
+
+def run_worker(
+    queue: Union[str, Path, WorkQueue],
+    *,
+    worker_id: Optional[str] = None,
+    store_path: Optional[Union[str, Path]] = None,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    poll_seconds: float = DEFAULT_POLL_SECONDS,
+    max_runs: Optional[int] = None,
+    wait: bool = True,
+    execute: Callable[[RunSpec], Tuple[CampaignResult, float]] = execute_run,
+    on_progress: Optional[Callable[[str, QueueEntry], None]] = None,
+) -> WorkerOutcome:
+    """Drain runs from ``queue`` until the sweep completes (or ``max_runs``).
+
+    Parameters
+    ----------
+    queue:
+        The queue directory (or a :class:`WorkQueue` handle on it).
+    worker_id:
+        Lease-owner name and store-file stem; defaults to
+        :func:`default_worker_id`.  Two concurrent workers must not share an
+        id (they would share a store file).
+    store_path:
+        Where this worker streams finished runs; defaults to
+        ``<queue>/stores/<worker_id>.jsonl``.  A path outside the queue
+        directory must be merged into ``finalize`` manually.
+    lease_seconds:
+        Heartbeat lease: a claim not refreshed for this long is stealable.
+        Must comfortably exceed the heartbeat interval (``lease / 4``) plus
+        worst-case scheduling jitter; it need *not* exceed run duration —
+        the heartbeat thread keeps live claims fresh however long runs take.
+    poll_seconds:
+        Idle sleep between manifest passes when nothing was claimable.
+    max_runs:
+        Stop after executing this many runs (testing/draining aid).
+    wait:
+        When False, return as soon as a full pass finds nothing claimable
+        instead of polling until every run is done.
+    execute:
+        Run executor (injectable for tests); defaults to
+        :func:`repro.experiments.suite.execute_run`.
+    on_progress:
+        Optional callback ``(event, entry)`` with events ``"claim"``,
+        ``"steal"``, ``"done"``, ``"heal"`` — the CLI's log line hook.
+
+    A failing run releases its claim (so a peer retries it) and re-raises as
+    :class:`OrchestrationError` — fail fast, matching the suite engine.
+    """
+    queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+    worker = validate_worker_id(worker_id or default_worker_id())
+    if lease_seconds <= 0 or poll_seconds <= 0:
+        raise OrchestrationError("lease_seconds and poll_seconds must be > 0")
+    entries = queue.entries()
+    store = RunStore(
+        queue.worker_store_path(worker) if store_path is None else store_path
+    )
+    outcome = WorkerOutcome(worker_id=worker, store_path=store.path)
+    start = time.perf_counter()
+
+    def notify(event: str, entry: QueueEntry) -> None:
+        if on_progress is not None:
+            on_progress(event, entry)
+
+    while True:
+        claimed_any = False
+        pending = 0
+        for entry in entries:
+            if max_runs is not None and outcome.n_executed >= max_runs:
+                break
+            if queue.is_done(entry.fingerprint):
+                continue
+            if entry.fingerprint in store:
+                # Our own earlier life appended this record but crashed
+                # before publishing the marker: publish it now, don't re-run.
+                stored = store.get(entry.fingerprint)
+                queue.mark_done(
+                    entry.fingerprint,
+                    worker_id=worker,
+                    run_id=entry.spec.run_id,
+                    wall_seconds=stored.wall_seconds,
+                )
+                outcome.healed.append(entry.fingerprint)
+                notify("heal", entry)
+                continue
+            pending += 1
+            claim = queue.claim_path(entry.fingerprint)
+            if try_claim(claim, worker):
+                stolen = False
+            elif try_steal(claim, worker, lease_seconds):
+                stolen = True
+            else:
+                continue  # held by a live peer
+            claimed_any = True
+            notify("steal" if stolen else "claim", entry)
+            try:
+                with Heartbeat(claim, worker, lease_seconds):
+                    result, seconds = execute(entry.spec)
+                # Store/marker failures (full disk, queue-FS hiccup) release
+                # the claim like execution failures, so a peer retries
+                # immediately instead of waiting out the lease.
+                record = SuiteRunRecord(
+                    spec=entry.spec, result=result, wall_seconds=seconds
+                )
+                store.append(record, fingerprint=entry.fingerprint)
+                queue.mark_done(
+                    entry.fingerprint,
+                    worker_id=worker,
+                    run_id=entry.spec.run_id,
+                    wall_seconds=seconds,
+                )
+            except Exception as error:
+                release_claim(claim)
+                raise OrchestrationError(
+                    f"worker {worker}: run {entry.spec.run_id!r} failed: {error}"
+                ) from error
+            outcome.executed.append(entry.spec.run_id)
+            if stolen:
+                outcome.stolen.append(entry.spec.run_id)
+            notify("done", entry)
+        if max_runs is not None and outcome.n_executed >= max_runs:
+            break
+        if pending == 0:
+            break  # every run has a done marker (or was healed above)
+        if not claimed_any:
+            if not wait:
+                break  # live peers hold everything that's left
+            time.sleep(poll_seconds)
+    outcome.wall_seconds = time.perf_counter() - start
+    return outcome

@@ -33,6 +33,7 @@ from repro.store.runstore import (
     StoredCampaignResult,
     StoredRun,
     merge_stores,
+    prune_store,
 )
 from repro.store.shard import parse_shard, shard_runs
 
@@ -46,6 +47,7 @@ __all__ = [
     "encode_run_spec",
     "merge_stores",
     "parse_shard",
+    "prune_store",
     "run_fingerprint",
     "shard_runs",
 ]

@@ -12,6 +12,11 @@ Operates on persistent run stores written by
 
     # The cross-protocol comparison matrix, straight from disk.
     python -m repro.store report merged.jsonl
+
+    # Compact a long-lived store: gc superseded duplicate lines and torn
+    # tails, write canonical fingerprint-sorted output (in place by default).
+    python -m repro.store prune sweep.jsonl
+    python -m repro.store prune sweep.jsonl --output canonical.jsonl --strip-timing
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.comparison import protocol_matrix_from_store
 from repro.analysis.reporting import format_protocol_matrix
 from repro.exceptions import ReproError, StoreError
-from repro.store.runstore import RunStore, merge_stores
+from repro.store.runstore import RunStore, merge_stores, prune_store
 
 __all__ = ["build_parser", "main"]
 
@@ -56,6 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="print the cross-protocol comparison matrix of a store"
     )
     report.add_argument("path", help="store JSONL file")
+
+    prune = commands.add_parser(
+        "prune",
+        help="compact a store: keep the newest record per fingerprint, drop "
+        "torn tails, write canonical fingerprint-sorted output",
+    )
+    prune.add_argument("path", help="store JSONL file to compact")
+    prune.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the pruned store here instead of replacing the input "
+        "in place (atomically)",
+    )
+    prune.add_argument(
+        "--strip-timing", action="store_true",
+        help="zero each record's wall_seconds so stores from different "
+        "executions of the same sweep become byte-comparable",
+    )
     return parser
 
 
@@ -91,7 +113,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command in ("inspect", "report") and not Path(args.path).exists():
+        if args.command in ("inspect", "report", "prune") and not Path(
+            args.path
+        ).exists():
             raise StoreError(f"no such store: {args.path}")
         if args.command == "inspect":
             print(_inspect(args.path, args.runs))
@@ -103,6 +127,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         elif args.command == "report":
             print(format_protocol_matrix(protocol_matrix_from_store(args.path)))
+        elif args.command == "prune":
+            with Path(args.path).open("r", encoding="utf-8") as handle:
+                raw_lines = sum(1 for line in handle if line.strip())
+            pruned = prune_store(
+                args.path, args.output, strip_timing=args.strip_timing
+            )
+            dropped = raw_lines - len(pruned)
+            print(
+                f"Pruned {args.path} -> {pruned.path}: {len(pruned)} runs kept, "
+                f"{dropped} superseded/torn line(s) dropped"
+                f"{', timing stripped' if args.strip_timing else ''}"
+            )
     except FileNotFoundError as error:
         print(f"error: no such store: {error.filename}", file=sys.stderr)
         return 2

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -50,6 +51,7 @@ __all__ = [
     "StoredRun",
     "RunStore",
     "merge_stores",
+    "prune_store",
 ]
 
 #: Layout version stamped on every store line.
@@ -361,6 +363,25 @@ def _science_identity(payload: Dict[str, Any]) -> str:
     return json.dumps({"spec": spec, "result": payload["result"]}, sort_keys=True)
 
 
+def _write_canonical(
+    payloads: Dict[str, Dict[str, Any]], output_path: Path
+) -> None:
+    """Write ``fingerprint -> payload`` in the canonical store layout.
+
+    The single definition of "canonical bytes" — fingerprint-sorted lines,
+    ``json.dumps(..., sort_keys=True)``, ``\\n`` newlines, fsync'd — shared
+    by :func:`merge_stores` and :func:`prune_store` so the cross-tool
+    byte-identity contract (merged orchestrated store vs pruned serial
+    store) cannot drift between the two writers.
+    """
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    with output_path.open("w", encoding="utf-8", newline="\n") as handle:
+        for fingerprint in sorted(payloads):
+            handle.write(json.dumps(payloads[fingerprint], sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 def merge_stores(
     inputs: Sequence[Union[str, Path, RunStore]],
     output: Union[str, Path],
@@ -393,10 +414,53 @@ def merge_stores(
                 continue
             merged[fingerprint] = (payload, identity)
     output_path = Path(output)
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    with output_path.open("w", encoding="utf-8", newline="\n") as handle:
-        for fingerprint in sorted(merged):
-            handle.write(json.dumps(merged[fingerprint][0], sort_keys=True) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    _write_canonical(
+        {fingerprint: payload for fingerprint, (payload, _) in merged.items()},
+        output_path,
+    )
+    return RunStore(output_path)
+
+
+def prune_store(
+    path: Union[str, Path],
+    output: Optional[Union[str, Path]] = None,
+    *,
+    strip_timing: bool = False,
+) -> RunStore:
+    """Compact a store to its canonical form (gc + sort), optionally in place.
+
+    Appends never rewrite history, so a long-lived store accumulates
+    superseded lines — older records for a fingerprint that was re-appended —
+    and possibly one torn final line from a crash.  Pruning keeps exactly the
+    *newest* record per fingerprint (the one :class:`RunStore` already
+    serves), drops the torn tail, and writes the survivors fingerprint-sorted
+    — the same canonical layout :func:`merge_stores` emits, so a pruned store
+    is byte-stable under further pruning.
+
+    ``strip_timing=True`` additionally zeroes each record's ``wall_seconds``
+    (the only field that honestly varies between executions of the same
+    sweep), which makes stores from *different* executions — serial suite
+    vs. orchestrated workers — byte-comparable.  The science payload (spec
+    and result) is never altered.
+
+    With ``output=None`` the store is replaced atomically (write-temp +
+    ``os.replace``); a crash mid-prune leaves the original intact.
+    """
+    store = RunStore(path)  # newest-line-per-fingerprint index, torn tail skipped
+    survivors: Dict[str, Dict[str, Any]] = {}
+    for payload in store.iter_payloads():
+        if strip_timing:
+            payload = dict(payload, wall_seconds=0.0)
+        survivors[payload["fingerprint"]] = payload
+    in_place = output is None
+    output_path = (
+        store.path.parent
+        / f".prune-{os.getpid()}-{threading.get_ident()}-{store.path.name}"
+        if in_place
+        else Path(output)
+    )
+    _write_canonical(survivors, output_path)
+    if in_place:
+        os.replace(output_path, store.path)
+        output_path = store.path
     return RunStore(output_path)

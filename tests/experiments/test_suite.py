@@ -219,3 +219,23 @@ class TestCli:
     def test_unknown_protocol_is_a_clean_error(self, capsys):
         assert cli_main(["--protocols", "warp-drive", "--executor", "serial"]) == 2
         assert "unknown protocols" in capsys.readouterr().err
+
+    def test_max_in_flight_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--max-in-flight", "0", "--executor", "serial"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_max_in_flight_none_vs_values(self):
+        from repro.experiments.cli import build_parser, sweep_from_args
+
+        parser = build_parser()
+        default = sweep_from_args(parser.parse_args(["--executor", "serial"]))
+        assert default.knobs == ({},)
+        swept = sweep_from_args(
+            parser.parse_args(["--max-in-flight", "1", "2", "--executor", "serial"])
+        )
+        assert swept.knobs == (
+            {"max_in_flight_pipelines": 1},
+            {"max_in_flight_pipelines": 2},
+        )

@@ -1,0 +1,96 @@
+"""CLI coverage: ``python -m repro.orchestrate`` init / worker / status / finalize."""
+
+from __future__ import annotations
+
+from repro.orchestrate.cli import main as orchestrate_main
+from repro.store import RunStore
+from repro.store.cli import main as store_main
+
+SWEEP_ARGS = [
+    "--protocols", "im-rp", "cont-v",
+    "--seeds", "3",
+    "--cycles", "1",
+    "--sequences", "4",
+    "--target-seed", "11",
+]
+
+
+def _init(queue_dir):
+    return orchestrate_main(["init", "--queue", str(queue_dir)] + SWEEP_ARGS)
+
+
+class TestOrchestrateCli:
+    def test_full_session(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        assert _init(queue_dir) == 0
+        assert "Initialised queue" in capsys.readouterr().out
+
+        assert (
+            orchestrate_main(
+                ["worker", "--queue", str(queue_dir), "--worker-id", "w0", "--no-wait"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "claimed: im-rp-s3" in out
+        assert "Worker w0: executed 2 run(s)" in out
+
+        assert orchestrate_main(["status", "--queue", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 runs done (100%)" in out
+        assert "w0" in out
+
+        output = tmp_path / "final.jsonl"
+        assert (
+            orchestrate_main(
+                ["finalize", "--queue", str(queue_dir), "--output", str(output)]
+            )
+            == 0
+        )
+        assert "Finalized queue" in capsys.readouterr().out
+        assert len(RunStore(output)) == 2
+        # The canonical store feeds the protocol matrix straight from disk.
+        assert store_main(["report", str(output)]) == 0
+        report = capsys.readouterr().out
+        assert "im-rp" in report and "cont-v" in report
+
+    def test_worker_max_runs_and_partial_finalize(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        assert (
+            orchestrate_main(
+                [
+                    "worker", "--queue", str(queue_dir),
+                    "--worker-id", "w0", "--max-runs", "1",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        output = tmp_path / "partial.jsonl"
+        code = orchestrate_main(
+            ["finalize", "--queue", str(queue_dir), "--output", str(output)]
+        )
+        assert code == 2
+        assert "not drained" in capsys.readouterr().err
+        assert (
+            orchestrate_main(
+                [
+                    "finalize", "--queue", str(queue_dir),
+                    "--output", str(output), "--partial",
+                ]
+            )
+            == 0
+        )
+        assert len(RunStore(output)) == 1
+
+    def test_status_of_uninitialised_queue_is_a_clean_error(self, tmp_path, capsys):
+        assert orchestrate_main(["status", "--queue", str(tmp_path / "nope")]) == 2
+        assert "not an initialised" in capsys.readouterr().err
+
+    def test_init_rejects_bad_sweep_flags(self, tmp_path, capsys):
+        code = orchestrate_main(
+            ["init", "--queue", str(tmp_path / "q"), "--protocols", "warp-drive"]
+        )
+        assert code == 2
+        assert "unknown protocols" in capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""Queue and lease primitives: atomic claims, expiry, stealing, torn files."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.exceptions import OrchestrationError
+from repro.orchestrate import (
+    WorkQueue,
+    read_lease,
+    release_claim,
+    try_claim,
+    try_steal,
+    validate_worker_id,
+)
+from repro.orchestrate.lease import Heartbeat, refresh_lease
+from repro.experiments import SweepSpec, TargetSpec
+from repro.store import run_fingerprint
+
+SWEEP = SweepSpec(
+    protocols=("im-rp", "cont-v"),
+    seeds=(3, 5),
+    targets=TargetSpec(kind="named-pdz", seed=11),
+    base={"n_cycles": 1, "n_sequences": 4},
+)
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    return WorkQueue.create(tmp_path / "queue", SWEEP)
+
+
+class TestManifest:
+    def test_entries_round_trip_the_expanded_sweep(self, queue):
+        entries = queue.entries()
+        expanded = SWEEP.expand()
+        assert [entry.spec for entry in entries] == expanded
+        assert [entry.fingerprint for entry in entries] == [
+            run_fingerprint(spec) for spec in expanded
+        ]
+
+    def test_reinit_same_sweep_is_idempotent(self, queue):
+        again = WorkQueue.create(queue.path, SWEEP)
+        assert [e.fingerprint for e in again.entries()] == [
+            e.fingerprint for e in queue.entries()
+        ]
+
+    def test_reinit_different_sweep_is_rejected(self, queue):
+        other = SweepSpec(
+            protocols=("im-rp",),
+            seeds=(0,),
+            targets=TargetSpec(kind="named-pdz", seed=11),
+            base={"n_cycles": 1, "n_sequences": 4},
+        )
+        with pytest.raises(OrchestrationError, match="different sweep"):
+            WorkQueue.create(queue.path, other)
+
+    def test_uninitialised_directory_is_a_clear_error(self, tmp_path):
+        with pytest.raises(OrchestrationError, match="not an initialised"):
+            WorkQueue(tmp_path / "nowhere").entries()
+
+    def test_unknown_manifest_version_rejected(self, queue):
+        payload = json.loads(queue.manifest_path.read_text())
+        payload["schema_version"] = 99
+        queue.manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(OrchestrationError, match="schema_version"):
+            queue.entries()
+
+    def test_worker_id_validation(self):
+        assert validate_worker_id("node-3.local_w0") == "node-3.local_w0"
+        with pytest.raises(OrchestrationError, match="worker id"):
+            validate_worker_id("bad/worker")
+        with pytest.raises(OrchestrationError, match="worker id"):
+            validate_worker_id("")
+
+
+class TestClaims:
+    def test_first_claim_wins_and_double_claim_is_rejected(self, queue):
+        fingerprint = queue.entries()[0].fingerprint
+        path = queue.claim_path(fingerprint)
+        assert try_claim(path, "w0") is True
+        # The atomic O_EXCL create rejects every later contender.
+        assert try_claim(path, "w1") is False
+        lease = read_lease(path)
+        assert lease is not None and lease.worker == "w0" and not lease.torn
+
+    def test_live_lease_cannot_be_stolen(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        assert try_steal(path, "w1", lease_seconds=60.0) is False
+        assert read_lease(path).worker == "w0"
+
+    def test_expired_lease_is_stolen(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        time.sleep(0.05)
+        assert try_steal(path, "w1", lease_seconds=0.01) is True
+        assert read_lease(path).worker == "w1"
+
+    def test_released_claim_is_reclaimable(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        release_claim(path)
+        assert read_lease(path) is None
+        assert try_claim(path, "w1") is True
+        release_claim(path)
+        release_claim(path)  # idempotent
+
+    def test_steal_of_vanished_claim_falls_back_to_claim(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        assert try_steal(path, "w1", lease_seconds=0.01) is True
+        assert read_lease(path).worker == "w1"
+
+    def test_heartbeat_keeps_a_lease_alive(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        with Heartbeat(path, "w0", lease_seconds=0.4):
+            time.sleep(1.0)
+            # Several lease periods passed, but the heartbeat kept it fresh.
+            assert try_steal(path, "w1", lease_seconds=0.4) is False
+        assert read_lease(path).worker == "w0"
+
+    def test_refresh_extends_the_lease(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        before = read_lease(path)
+        time.sleep(0.05)
+        refresh_lease(path, "w0", before.claimed_at)
+        after = read_lease(path)
+        assert after.heartbeat_at > before.heartbeat_at
+        assert after.claimed_at == pytest.approx(before.claimed_at)
+
+
+class TestTornFiles:
+    def test_torn_claim_is_not_trusted_but_still_gates(self, queue):
+        """Garbage claim content degrades to an mtime lease, not a crash."""
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"worker": "w0", "claimed_')  # torn mid-write
+        lease = read_lease(path)
+        assert lease is not None and lease.torn
+        # Fresh mtime: still within its lease, cannot be stolen.
+        assert try_steal(path, "w1", lease_seconds=60.0) is False
+
+    def test_stale_torn_claim_is_reclaimed(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json at all")
+        stale = time.time() - 3600.0
+        os.utime(path, (stale, stale))
+        assert try_steal(path, "w1", lease_seconds=30.0) is True
+        assert read_lease(path).worker == "w1"
+
+    def test_empty_claim_file_handled(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.touch()
+        lease = read_lease(path)
+        assert lease is not None and lease.torn
+
+
+class TestDoneMarkers:
+    def test_mark_done_round_trips(self, queue):
+        entry = queue.entries()[0]
+        assert not queue.is_done(entry.fingerprint)
+        queue.mark_done(
+            entry.fingerprint,
+            worker_id="w0",
+            run_id=entry.spec.run_id,
+            wall_seconds=1.25,
+        )
+        assert queue.is_done(entry.fingerprint)
+        record = queue.done_record(entry.fingerprint)
+        assert record["worker"] == "w0"
+        assert record["run_id"] == entry.spec.run_id
+        assert record["wall_seconds"] == 1.25
+        assert queue.done_fingerprints() == [entry.fingerprint]

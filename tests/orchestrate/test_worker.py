@@ -1,0 +1,297 @@
+"""Worker-loop behaviour: draining, stealing, healing, failure modes, and the
+distributed determinism contract (2-worker finalize == serial suite store)."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import OrchestrationError
+from repro.experiments import CampaignSuite, SweepSpec, TargetSpec
+from repro.experiments.suite import SuiteRunRecord, execute_run
+from repro.orchestrate import (
+    WorkQueue,
+    finalize_queue,
+    queue_progress,
+    read_lease,
+    run_worker,
+    try_claim,
+)
+from repro.orchestrate.queue import atomic_write_json
+from repro.store import RunStore, prune_store
+
+SWEEP = SweepSpec(
+    protocols=("im-rp", "cont-v"),
+    seeds=(3, 5),
+    targets=TargetSpec(kind="named-pdz", seed=11),
+    base={"n_cycles": 1, "n_sequences": 4},
+)
+
+
+class FakeResult:
+    """Deterministic stand-in for a CampaignResult (mechanics tests only)."""
+
+    def __init__(self, spec):
+        self._payload = {
+            "approach": "FAKE",
+            "protocol": spec.protocol,
+            "seed": spec.seed,
+            "run_id": spec.run_id,
+        }
+
+    def as_dict(self):
+        return self._payload
+
+
+def fake_execute(calls=None):
+    def execute(spec):
+        if calls is not None:
+            calls.append(spec.run_id)
+        return FakeResult(spec), 0.01
+
+    return execute
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    return WorkQueue.create(tmp_path / "queue", SWEEP)
+
+
+def _dead_claim(queue, fingerprint, *, worker="dead-worker", age=3600.0):
+    """A claim whose owner stopped heartbeating ``age`` seconds ago."""
+    stale = time.time() - age
+    atomic_write_json(
+        queue.claim_path(fingerprint),
+        {"worker": worker, "claimed_at": stale, "heartbeat_at": stale},
+    )
+
+
+class TestWorkerLoop:
+    def test_single_worker_drains_the_queue(self, queue):
+        calls = []
+        outcome = run_worker(queue, worker_id="w0", execute=fake_execute(calls))
+        run_ids = [entry.spec.run_id for entry in queue.entries()]
+        assert outcome.executed == run_ids == calls
+        assert outcome.stolen == [] and outcome.healed == []
+        store = RunStore(queue.worker_store_path("w0"))
+        assert sorted(store.fingerprints()) == sorted(
+            entry.fingerprint for entry in queue.entries()
+        )
+        assert all(queue.is_done(e.fingerprint) for e in queue.entries())
+
+    def test_two_workers_split_without_overlap(self, queue):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(
+                    run_worker,
+                    queue,
+                    worker_id=f"w{i}",
+                    execute=fake_execute(),
+                    lease_seconds=60.0,
+                )
+                for i in range(2)
+            ]
+            outcomes = [future.result() for future in futures]
+        executed = outcomes[0].executed + outcomes[1].executed
+        # O_EXCL claims + live leases: every run executed exactly once.
+        assert sorted(executed) == sorted(
+            entry.spec.run_id for entry in queue.entries()
+        )
+
+    def test_max_runs_stops_early(self, queue):
+        outcome = run_worker(
+            queue, worker_id="w0", execute=fake_execute(), max_runs=1
+        )
+        assert outcome.n_executed == 1
+        progress = queue_progress(queue)
+        assert progress.n_done == 1 and progress.n_unclaimed == 3
+
+    def test_no_wait_returns_while_peers_hold_claims(self, queue):
+        entries = queue.entries()
+        for entry in entries[1:]:
+            try_claim(queue.claim_path(entry.fingerprint), "live-peer")
+        outcome = run_worker(
+            queue, worker_id="w0", execute=fake_execute(), wait=False,
+            lease_seconds=60.0,
+        )
+        # Only the unclaimed run was executable; the rest are held live.
+        assert outcome.executed == [entries[0].spec.run_id]
+
+    def test_worker_store_path_override(self, queue, tmp_path):
+        store_path = tmp_path / "elsewhere" / "mine.jsonl"
+        run_worker(
+            queue, worker_id="w0", store_path=store_path, execute=fake_execute()
+        )
+        assert len(RunStore(store_path)) == 4
+        assert queue.worker_store_paths() == []
+
+
+class TestFailureModes:
+    def test_stale_lease_is_reclaimed_by_a_live_worker(self, queue):
+        """A worker died mid-run: its claim expires and a peer steals it."""
+        victim = queue.entries()[0]
+        _dead_claim(queue, victim.fingerprint)
+        outcome = run_worker(
+            queue, worker_id="w1", execute=fake_execute(), lease_seconds=0.5
+        )
+        assert victim.spec.run_id in outcome.stolen
+        assert outcome.n_executed == 4  # nothing lost
+        assert all(queue.is_done(e.fingerprint) for e in queue.entries())
+        assert read_lease(queue.claim_path(victim.fingerprint)).worker == "w1"
+
+    def test_live_lease_is_respected_until_expiry(self, queue):
+        victim = queue.entries()[0]
+        _dead_claim(queue, victim.fingerprint, age=0.0)  # fresh heartbeat
+        outcome = run_worker(
+            queue, worker_id="w1", execute=fake_execute(), lease_seconds=60.0,
+            wait=False,
+        )
+        assert victim.spec.run_id not in outcome.executed
+        assert outcome.n_executed == 3
+
+    def test_torn_claim_file_is_ignored_and_reclaimed_when_stale(self, queue):
+        victim = queue.entries()[0]
+        claim = queue.claim_path(victim.fingerprint)
+        claim.parent.mkdir(parents=True, exist_ok=True)
+        claim.write_text('{"worker": "w9", "claim')  # torn mid-write
+        import os
+
+        stale = time.time() - 3600.0
+        os.utime(claim, (stale, stale))
+        outcome = run_worker(
+            queue, worker_id="w1", execute=fake_execute(), lease_seconds=0.5
+        )
+        assert victim.spec.run_id in outcome.stolen
+        assert outcome.n_executed == 4
+
+    def test_heal_republishes_marker_without_reexecution(self, queue):
+        """Crash between store append and done marker: healed, not re-run."""
+        entry = queue.entries()[0]
+        store = RunStore(queue.worker_store_path("w0"))
+        store.append(
+            SuiteRunRecord(
+                spec=entry.spec, result=FakeResult(entry.spec), wall_seconds=0.5
+            ),
+            fingerprint=entry.fingerprint,
+        )
+        assert not queue.is_done(entry.fingerprint)
+        calls = []
+        outcome = run_worker(queue, worker_id="w0", execute=fake_execute(calls))
+        assert outcome.healed == [entry.fingerprint]
+        assert entry.spec.run_id not in calls  # not re-executed
+        assert queue.is_done(entry.fingerprint)
+        assert queue.done_record(entry.fingerprint)["wall_seconds"] == 0.5
+
+    def test_failing_run_releases_the_claim_and_fails_fast(self, queue):
+        def exploding(spec):
+            raise RuntimeError("boom")
+
+        with pytest.raises(OrchestrationError, match="boom"):
+            run_worker(queue, worker_id="w0", execute=exploding)
+        first = queue.entries()[0]
+        # Claim released: a healthy peer retries immediately, nothing is lost.
+        assert read_lease(queue.claim_path(first.fingerprint)) is None
+        outcome = run_worker(queue, worker_id="w1", execute=fake_execute())
+        assert outcome.n_executed == 4
+
+    def test_double_execution_after_steal_merges_cleanly(self, queue, tmp_path):
+        """Both the 'dead' and the stealing worker finished: dedup by
+        fingerprint works because seeded results are deterministic."""
+        entry = queue.entries()[0]
+        # The dead worker got as far as appending to its store.
+        dead_store = RunStore(queue.worker_store_path("dead"))
+        dead_store.append(
+            SuiteRunRecord(
+                spec=entry.spec, result=FakeResult(entry.spec), wall_seconds=9.9
+            ),
+            fingerprint=entry.fingerprint,
+        )
+        _dead_claim(queue, entry.fingerprint)
+        run_worker(queue, worker_id="w1", execute=fake_execute(), lease_seconds=0.5)
+        merged = finalize_queue(queue, tmp_path / "merged.jsonl")
+        assert len(merged) == 4
+        assert entry.fingerprint in merged
+
+    def test_finalize_refuses_an_undrained_queue(self, queue, tmp_path):
+        run_worker(queue, worker_id="w0", execute=fake_execute(), max_runs=1)
+        with pytest.raises(OrchestrationError, match="not drained"):
+            finalize_queue(queue, tmp_path / "merged.jsonl")
+        partial = finalize_queue(
+            queue, tmp_path / "partial.jsonl", require_complete=False
+        )
+        assert len(partial) == 1
+
+    def test_finalize_detects_a_lost_store_file(self, queue, tmp_path):
+        run_worker(queue, worker_id="w0", execute=fake_execute())
+        queue.worker_store_path("w0").rename(tmp_path / "lost.jsonl")
+        # Another worker's store still exists but lacks the records.
+        RunStore(queue.worker_store_path("w1")).append(
+            SuiteRunRecord(
+                spec=queue.entries()[0].spec,
+                result=FakeResult(queue.entries()[0].spec),
+                wall_seconds=0.1,
+            ),
+            fingerprint=queue.entries()[0].fingerprint,
+        )
+        with pytest.raises(OrchestrationError, match="missing"):
+            finalize_queue(queue, tmp_path / "merged.jsonl")
+        # Passing the relocated store back in repairs the merge.
+        merged = finalize_queue(
+            queue, tmp_path / "merged.jsonl",
+            extra_stores=[tmp_path / "lost.jsonl"],
+        )
+        assert len(merged) == 4
+
+
+class TestDistributedDeterminism:
+    """The acceptance contract: N-worker finalize == serial suite store."""
+
+    def _serial_reference(self, tmp_path):
+        serial = RunStore(tmp_path / "serial.jsonl")
+        CampaignSuite(SWEEP, executor="serial").run(store=serial)
+        return prune_store(
+            serial.path, tmp_path / "serial-canonical.jsonl", strip_timing=True
+        )
+
+    def test_two_worker_finalize_is_byte_identical_to_serial(self, queue, tmp_path):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(
+                    run_worker,
+                    queue,
+                    worker_id=f"w{i}",
+                    execute=execute_run,
+                    lease_seconds=60.0,
+                )
+                for i in range(2)
+            ]
+            for future in futures:
+                future.result()
+        finalized = finalize_queue(
+            queue, tmp_path / "finalized.jsonl", strip_timing=True
+        )
+        reference = self._serial_reference(tmp_path)
+        assert finalized.path.read_bytes() == reference.path.read_bytes()
+
+    def test_killed_worker_loses_no_runs(self, queue, tmp_path):
+        """A worker dies mid-sweep; the survivor reclaims and the finalized
+        store is still complete and byte-identical to the serial reference."""
+        entries = queue.entries()
+        # The dead worker had claimed two runs and completed neither.
+        _dead_claim(queue, entries[0].fingerprint)
+        _dead_claim(queue, entries[2].fingerprint)
+        survivor = run_worker(
+            queue, worker_id="survivor", execute=execute_run, lease_seconds=0.5
+        )
+        assert survivor.n_executed == 4
+        assert len(survivor.stolen) == 2
+        finalized = finalize_queue(
+            queue, tmp_path / "finalized.jsonl", strip_timing=True
+        )
+        assert sorted(finalized.fingerprints()) == sorted(
+            entry.fingerprint for entry in entries
+        )
+        reference = self._serial_reference(tmp_path)
+        assert finalized.path.read_bytes() == reference.path.read_bytes()
