@@ -22,7 +22,7 @@ from repro.analysis.comparison import (
     protocol_matrix,
     table1,
 )
-from repro.analysis.progress import QueueProgress, format_queue_progress
+from repro.analysis.progress import QueueProgress, RunInFlight, format_queue_progress
 from repro.analysis.reporting import (
     format_iteration_table,
     format_protocol_matrix,
@@ -41,6 +41,7 @@ __all__ = [
     "protocol_matrix",
     "ProtocolMatrixRow",
     "QueueProgress",
+    "RunInFlight",
     "format_queue_progress",
     "format_protocol_matrix",
     "format_iteration_table",

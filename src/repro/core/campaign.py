@@ -22,10 +22,11 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.decision import AcceptancePolicy, SubPipelinePolicy
 from repro.core.protocols import (
+    CampaignState,
     ExecutionProtocol,
     ProtocolContext,
     ProtocolOutcome,
@@ -47,7 +48,7 @@ from repro.runtime.durations import DurationModel
 from repro.runtime.session import Session
 from repro.utils.rng import derive_seed
 
-__all__ = ["CampaignConfig", "DesignCampaign"]
+__all__ = ["CampaignConfig", "CampaignState", "DesignCampaign"]
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,7 @@ class DesignCampaign:
         self._platform: Optional[ComputePlatform] = None
         self._session: Optional[Session] = None
         self._result: Optional[CampaignResult] = None
+        self._protocol_instance: Optional[ExecutionProtocol] = None
 
         seed = self._config.seed
         self._durations = DurationModel(
@@ -195,22 +197,117 @@ class DesignCampaign:
 
     def run(self) -> CampaignResult:
         """Execute the campaign and return its result (idempotent)."""
+        return self.run_stepwise()
+
+    def run_stepwise(
+        self,
+        resume_from: Optional[CampaignState] = None,
+        on_state: Optional[Callable[[CampaignState], None]] = None,
+    ) -> CampaignResult:
+        """Execute as an explicit state machine: init → step\\* → finalize.
+
+        ``resume_from`` continues a campaign from a restorable
+        :class:`CampaignState` (typically reloaded from a checkpoint written
+        by another process or worker): completed cycles are *not* re-executed
+        and the finalized result is byte-identical to an uninterrupted run.
+        ``on_state`` observes every post-step state (plus, for run-granular
+        protocols, non-restorable mid-step progress states) — the hook the
+        orchestration worker uses to stream one checkpoint per cycle.
+        """
+        if self._result is not None:
+            return self._result
+        protocol = self._protocol()
+        # Snapshots are only serialised when someone is there to persist
+        # them; an unobserved run() pays no per-cycle encoding.
+        context = self._protocol_context(
+            on_state, capture_snapshots=on_state is not None
+        )
+        if resume_from is not None:
+            state = self._validated_resume(resume_from)
+        else:
+            state = protocol.init_state(context)
+        while not state.done:
+            state = protocol.step(context, state)
+            if on_state is not None:
+                on_state(state)
+        return self.finalize_state(state)
+
+    def init_state(self) -> CampaignState:
+        """The campaign's pre-execution state (cycle 0, nothing in flight)."""
+        return self._protocol().init_state(
+            self._protocol_context(capture_snapshots=True)
+        )
+
+    def step(self, state: CampaignState) -> CampaignState:
+        """Advance one checkpointable unit: ``step(state) -> state``.
+
+        States returned by the explicit stepping API always carry a
+        restorable snapshot (where the protocol supports one) — this is the
+        checkpoint boundary.
+        """
+        return self._protocol().step(
+            self._protocol_context(capture_snapshots=True), state
+        )
+
+    def finalize_state(self, state: CampaignState) -> CampaignResult:
+        """Turn a terminal state into the campaign result (idempotent)."""
         if self._result is not None:
             return self._result
         baseline = self._baseline_metrics()
-        protocol = get_protocol(self._config.protocol)
-        outcome = protocol.execute(self._protocol_context())
+        protocol = self._protocol()
+        outcome = protocol.finalize(self._protocol_context(), state)
         self._platform = outcome.platform
         self._session = outcome.session
         self._result = self._build_result(protocol, outcome, baseline)
         return self._result
 
-    def _protocol_context(self) -> ProtocolContext:
+    def _protocol(self) -> ExecutionProtocol:
+        if self._protocol_instance is None:
+            self._protocol_instance = get_protocol(self._config.protocol)
+        return self._protocol_instance
+
+    def _validated_resume(self, state: CampaignState) -> CampaignState:
+        if state.protocol != self._config.protocol or state.seed != self._config.seed:
+            raise CampaignError(
+                f"campaign state is for protocol {state.protocol!r} seed "
+                f"{state.seed}, this campaign runs {self._config.protocol!r} "
+                f"seed {self._config.seed}"
+            )
+        if not state.done and not (state.restorable and state.payload is not None):
+            raise CampaignError(
+                "campaign state is a progress report, not a restorable "
+                "checkpoint; re-run from the start instead"
+            )
+        return state
+
+    def _protocol_context(
+        self,
+        on_state: Optional[Callable[[CampaignState], None]] = None,
+        capture_snapshots: bool = False,
+    ) -> ProtocolContext:
+        on_progress = None
+        if on_state is not None:
+
+            def on_progress(cycle: int, cycles_total: Optional[int]) -> None:
+                on_state(
+                    CampaignState(
+                        protocol=self._config.protocol,
+                        seed=self._config.seed,
+                        cycle=cycle,
+                        cycles_total=cycles_total,
+                        done=False,
+                        restorable=False,
+                        payload=None,
+                    )
+                )
+
         return ProtocolContext(
             config=self._config,
             targets=self._targets,
             factory=self._factory,
             durations=self._durations,
+            on_progress=on_progress,
+            capture_snapshots=capture_snapshots,
         )
 
     def _baseline_metrics(self) -> Dict[str, QualityMetrics]:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.decision import SubPipelinePolicy, SubPipelineSpec
 from repro.core.pipeline import Pipeline, PipelineConfig, PipelineStatus
@@ -69,10 +69,16 @@ class PipelinesCoordinator:
         session: Session,
         factory: StageFactory,
         config: Optional[CoordinatorConfig] = None,
+        on_cycle: Optional[Callable[[int], None]] = None,
     ) -> None:
         self._session = session
         self._factory = factory
         self._config = config or CoordinatorConfig()
+        #: Progress hook invoked with the total completed-cycle count after
+        #: every cycle (root or sub-pipeline) finishes.  Pure observation:
+        #: it runs after the decision step and must not mutate the campaign.
+        self._on_cycle = on_cycle
+        self._cycles_completed = 0
 
         self._pipelines: Dict[str, Pipeline] = {}
         self._root_of: Dict[str, str] = {}
@@ -105,6 +111,11 @@ class PipelinesCoordinator:
     @property
     def n_subpipelines(self) -> int:
         return self._total_spawned
+
+    @property
+    def n_cycles_completed(self) -> int:
+        """Design cycles completed so far, across every pipeline."""
+        return self._cycles_completed
 
     def add_target(
         self, target: DesignTarget, config: Optional[PipelineConfig] = None
@@ -199,6 +210,9 @@ class PipelinesCoordinator:
             self._session.task_manager.submit_tasks(step.new_tasks)
         if step.completed_cycle is not None:
             self._decision_step(pipeline, step.completed_cycle)
+            self._cycles_completed += 1
+            if self._on_cycle is not None:
+                self._on_cycle(self._cycles_completed)
         if step.pipeline_finished:
             self._on_pipeline_finished(pipeline)
 

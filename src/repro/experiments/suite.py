@@ -22,9 +22,9 @@ from concurrent.futures import (
     as_completed,
 )
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.campaign import DesignCampaign
+from repro.core.campaign import CampaignState, DesignCampaign
 from repro.core.results import CampaignResult
 from repro.exceptions import CampaignError
 from repro.experiments.spec import RunSpec, SweepSpec
@@ -48,15 +48,27 @@ EXECUTORS = ("serial", "process", "thread")
 SUITE_SCHEMA_VERSION = 1
 
 
-def execute_run(spec: RunSpec) -> Tuple[CampaignResult, float]:
+def execute_run(
+    spec: RunSpec,
+    *,
+    resume_state: Optional[CampaignState] = None,
+    on_cycle: Optional[Callable[[CampaignState], None]] = None,
+) -> Tuple[CampaignResult, float]:
     """Execute one run spec and return ``(result, wall_seconds)``.
 
     Module-level so it is picklable as a process-pool work item.  The targets
     and campaign are rebuilt from the declarative spec inside the worker.
+
+    ``resume_state`` continues an interrupted campaign from a restorable
+    :class:`~repro.core.campaign.CampaignState` (the result is byte-identical
+    to an uninterrupted run; ``wall_seconds`` honestly covers only the
+    resumed portion — the one field ``--strip-timing`` zeroes).  ``on_cycle``
+    observes every cycle-boundary state — the orchestration worker's
+    checkpoint streaming hook.
     """
     start = time.perf_counter()
     campaign = DesignCampaign(spec.targets.build(), spec.campaign_config())
-    result = campaign.run()
+    result = campaign.run_stepwise(resume_from=resume_state, on_state=on_cycle)
     return result, time.perf_counter() - start
 
 

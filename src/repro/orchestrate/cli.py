@@ -39,6 +39,7 @@ from repro.experiments.cli import add_sweep_arguments, positive_int, sweep_from_
 from repro.orchestrate.coordinator import finalize_queue, queue_progress
 from repro.orchestrate.queue import QueueEntry, WorkQueue
 from repro.orchestrate.worker import (
+    DEFAULT_CHECKPOINT_SECONDS,
     DEFAULT_LEASE_SECONDS,
     DEFAULT_POLL_SECONDS,
     run_worker,
@@ -54,6 +55,16 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -97,6 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--max-runs", type=positive_int, default=None, metavar="N",
         help="exit after executing N runs (default: run until the sweep drains)",
+    )
+    worker.add_argument(
+        "--checkpoint-interval", type=_nonnegative_float,
+        default=DEFAULT_CHECKPOINT_SECONDS, metavar="S",
+        help="minimum seconds between checkpoint saves of one run; 0 saves "
+        f"at every cycle boundary (default: {DEFAULT_CHECKPOINT_SECONDS:g})",
+    )
+    worker.add_argument(
+        "--max-attempts", type=positive_int, default=1, metavar="N",
+        help="execution-failure budget per run: 1 (default) fails fast as "
+        "before; N>1 retries (resuming from checkpoints), then publishes a "
+        "failed/ marker and keeps draining",
     )
     worker.add_argument(
         "--no-wait", action="store_true",
@@ -143,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _worker_log(event: str, entry: QueueEntry) -> None:
     labels = {
         "claim": "claimed", "steal": "stole (expired lease)",
+        "resume": "resumed from checkpoint",
+        "retry": "retrying (attempt budget left)",
+        "failed": "failed permanently (budget spent)",
         "done": "finished", "heal": "healed (marker republished)",
     }
     print(f"  {labels.get(event, event)}: {entry.spec.run_id}", flush=True)
@@ -168,15 +194,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 lease_seconds=args.lease,
                 poll_seconds=args.poll,
                 max_runs=args.max_runs,
+                max_attempts=args.max_attempts,
+                checkpoint_seconds=args.checkpoint_interval,
                 wait=not args.no_wait,
                 on_progress=_worker_log,
             )
             stolen = f", {len(outcome.stolen)} stolen" if outcome.stolen else ""
+            resumed = (
+                f", {len(outcome.resumed)} resumed from checkpoint"
+                if outcome.resumed
+                else ""
+            )
+            failed = f", {len(outcome.failed)} failed" if outcome.failed else ""
             healed = f", {len(outcome.healed)} healed" if outcome.healed else ""
             print(
                 f"Worker {outcome.worker_id}: executed {outcome.n_executed} "
-                f"run(s){stolen}{healed} in {outcome.wall_seconds:.2f}s "
-                f"-> {outcome.store_path}"
+                f"run(s){stolen}{resumed}{failed}{healed} in "
+                f"{outcome.wall_seconds:.2f}s -> {outcome.store_path}"
             )
         elif args.command == "status":
             print(

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
-from repro.analysis.progress import QueueProgress
-from repro.exceptions import OrchestrationError
+from repro.analysis.progress import QueueProgress, RunInFlight
+from repro.exceptions import OrchestrationError, StoreError
 from repro.orchestrate.lease import read_lease
 from repro.orchestrate.queue import WorkQueue
 from repro.orchestrate.worker import DEFAULT_LEASE_SECONDS
+from repro.store.checkpoint import CheckpointStore
 from repro.store.runstore import RunStore, merge_stores, prune_store
 
 __all__ = ["queue_progress", "finalize_queue"]
@@ -37,9 +38,10 @@ def queue_progress(
     queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
     clock = time.time() if now is None else now
     entries = queue.entries()
-    n_done = n_running = n_stale = n_unclaimed = 0
+    checkpoints = CheckpointStore(queue.checkpoints_dir)
+    n_done = n_running = n_stale = n_unclaimed = n_failed = 0
     done_by_worker: Dict[str, int] = {}
-    running: List[Tuple[str, str, float]] = []
+    running: List[RunInFlight] = []
     done_wall = 0.0
     completed_at: List[float] = []
     for entry in entries:
@@ -52,6 +54,9 @@ def queue_progress(
             if "completed_at" in record:
                 completed_at.append(float(record["completed_at"]))
             continue
+        if queue.is_failed(entry.fingerprint):
+            n_failed += 1
+            continue
         lease = read_lease(queue.claim_path(entry.fingerprint))
         if lease is None:
             n_unclaimed += 1
@@ -59,13 +64,30 @@ def queue_progress(
             n_stale += 1
         else:
             n_running += 1
-            running.append((entry.spec.run_id, lease.worker, lease.age(clock)))
+            cycle = cycles_total = None
+            try:
+                checkpoint = checkpoints.latest(entry.fingerprint)
+            except StoreError:
+                checkpoint = None  # unreadable schema: report no progress
+            if checkpoint is not None:
+                cycle = checkpoint.cycle
+                cycles_total = checkpoint.cycles_total
+            running.append(
+                RunInFlight(
+                    run_id=entry.spec.run_id,
+                    worker=lease.worker,
+                    lease_age=lease.age(clock),
+                    cycle=cycle,
+                    cycles_total=cycles_total,
+                )
+            )
     return QueueProgress(
         n_runs=len(entries),
         n_done=n_done,
         n_running=n_running,
         n_stale=n_stale,
         n_unclaimed=n_unclaimed,
+        n_failed=n_failed,
         done_by_worker=done_by_worker,
         running=running,
         done_wall_seconds=done_wall,
@@ -96,16 +118,33 @@ def finalize_queue(
     distributed extension of the determinism contract.
 
     ``require_complete`` (default) refuses to finalize while manifest runs
-    lack done markers, naming the missing run ids; pass ``extra_stores`` for
-    workers that streamed to paths outside ``<queue>/stores/``.
+    lack done markers — naming permanently *failed* runs (retry budget
+    spent) separately from merely unfinished ones — and pass
+    ``extra_stores`` for workers that streamed to paths outside
+    ``<queue>/stores/``.
     """
     queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
     entries = queue.entries()
+    failed = [
+        entry.spec.run_id
+        for entry in entries
+        if queue.is_failed(entry.fingerprint)
+        and not queue.is_done(entry.fingerprint)
+    ]
     missing = [
         entry.spec.run_id
         for entry in entries
         if not queue.is_done(entry.fingerprint)
+        and not queue.is_failed(entry.fingerprint)
     ]
+    if failed and require_complete:
+        raise OrchestrationError(
+            f"queue {queue.path} has {len(failed)} permanently failed run(s) "
+            f"({', '.join(failed[:6])}{', …' if len(failed) > 6 else ''}); "
+            "fix the cause and delete the failed/ markers to retry (the runs "
+            "resume from their last checkpoint), or pass --partial to merge "
+            "the survivors"
+        )
     if missing and require_complete:
         raise OrchestrationError(
             f"queue {queue.path} is not drained: {len(missing)} of "

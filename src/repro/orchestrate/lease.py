@@ -53,6 +53,11 @@ class ClaimLease:
     worker: str
     claimed_at: float
     heartbeat_at: float
+    #: Which execution attempt of the run this claim covers (1-based).  The
+    #: count lives in the claim file so it survives work stealing: a worker
+    #: that steals a crashed peer's claim inherits where the retry budget
+    #: stood.  Pre-retry-budget claims (and torn claims) read as attempt 1.
+    attempt: int = 1
     #: True when the file's JSON was unreadable and mtime stood in for the
     #: heartbeat (the claim still gates execution, it is just not trusted
     #: beyond its timestamp).
@@ -65,9 +70,14 @@ class ClaimLease:
         return self.age(now) > lease_seconds
 
 
-def _lease_payload(worker: str, claimed_at: float) -> dict:
+def _lease_payload(worker: str, claimed_at: float, attempt: int = 1) -> dict:
     now = time.time()
-    return {"worker": worker, "claimed_at": claimed_at, "heartbeat_at": now}
+    return {
+        "worker": worker,
+        "claimed_at": claimed_at,
+        "heartbeat_at": now,
+        "attempt": attempt,
+    }
 
 
 def read_lease(path: Path) -> Optional[ClaimLease]:
@@ -78,6 +88,7 @@ def read_lease(path: Path) -> Optional[ClaimLease]:
             worker=str(payload["worker"]),
             claimed_at=float(payload["claimed_at"]),
             heartbeat_at=float(payload["heartbeat_at"]),
+            attempt=int(payload.get("attempt", 1)),
         )
     except FileNotFoundError:
         return None
@@ -93,7 +104,7 @@ def read_lease(path: Path) -> Optional[ClaimLease]:
         )
 
 
-def try_claim(path: Path, worker: str) -> bool:
+def try_claim(path: Path, worker: str, attempt: int = 1) -> bool:
     """Attempt the first claim of ``path``; True iff this worker won it.
 
     The ``O_CREAT | O_EXCL`` open is the atomic winner-takes-all step; the
@@ -106,7 +117,7 @@ def try_claim(path: Path, worker: str) -> bool:
     except FileExistsError:
         return False
     try:
-        payload = _lease_payload(worker, claimed_at=time.time())
+        payload = _lease_payload(worker, claimed_at=time.time(), attempt=attempt)
         os.write(descriptor, (json.dumps(payload, sort_keys=True) + "\n").encode())
     finally:
         os.close(descriptor)
@@ -117,10 +128,13 @@ def try_steal(path: Path, worker: str, lease_seconds: float) -> bool:
     """Take over an expired claim; True iff this worker now holds the lease.
 
     Only steals when the current lease (or the mtime of a torn claim) is
-    older than ``lease_seconds``.  After the rename the claim is re-read: if
-    a racing stealer renamed over us in the window, they own it and we report
-    failure — a best-effort tiebreak; the residual double-own window is
-    benign (see the module docstring).
+    older than ``lease_seconds``.  The victim's attempt count is inherited
+    (a steal is not a fresh execution attempt — caught execution *failures*
+    advance the budget, crashes and stalls do not, so a slow-but-retryable
+    run cannot be starved by lease churn).  After the rename the claim is
+    re-read: if a racing stealer renamed over us in the window, they own it
+    and we report failure — a best-effort tiebreak; the residual double-own
+    window is benign (see the module docstring).
     """
     lease = read_lease(path)
     if lease is None:
@@ -128,14 +142,19 @@ def try_steal(path: Path, worker: str, lease_seconds: float) -> bool:
         return try_claim(path, worker)
     if not lease.expired(lease_seconds):
         return False
-    atomic_write_json(path, _lease_payload(worker, claimed_at=time.time()))
+    atomic_write_json(
+        path,
+        _lease_payload(worker, claimed_at=time.time(), attempt=lease.attempt),
+    )
     after = read_lease(path)
     return after is not None and after.worker == worker
 
 
-def refresh_lease(path: Path, worker: str, claimed_at: float) -> None:
+def refresh_lease(
+    path: Path, worker: str, claimed_at: float, attempt: int = 1
+) -> None:
     """Rewrite the claim with a fresh heartbeat (atomic rename)."""
-    atomic_write_json(path, _lease_payload(worker, claimed_at))
+    atomic_write_json(path, _lease_payload(worker, claimed_at, attempt))
 
 
 def release_claim(path: Path) -> None:
@@ -154,17 +173,22 @@ class Heartbeat:
     failure the steal path exists for.
     """
 
-    def __init__(self, path: Path, worker: str, lease_seconds: float) -> None:
+    def __init__(
+        self, path: Path, worker: str, lease_seconds: float, attempt: int = 1
+    ) -> None:
         self._path = path
         self._worker = worker
         self._claimed_at = time.time()
+        self._attempt = attempt
         self._interval = max(0.05, lease_seconds / 4.0)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
     def _beat(self) -> None:
         while not self._stop.wait(self._interval):
-            refresh_lease(self._path, self._worker, self._claimed_at)
+            refresh_lease(
+                self._path, self._worker, self._claimed_at, self._attempt
+            )
 
     def __enter__(self) -> "Heartbeat":
         self._thread.start()

@@ -9,6 +9,8 @@ Layout::
       manifest.json          # the sweep, expanded: fingerprint + tagged spec
       claims/<fp>.json       # lease files  (atomic O_EXCL create / rename)
       done/<fp>.json         # completion markers (atomic rename)
+      failed/<fp>.json       # permanent-failure markers (retry budget spent)
+      checkpoints/<fp>.jsonl # per-cycle campaign checkpoints (CheckpointStore)
       stores/<worker>.jsonl  # per-worker RunStore files
 
 Coordination rules, all enforced with POSIX-atomic primitives:
@@ -30,9 +32,7 @@ Coordination rules, all enforced with POSIX-atomic primitives:
 from __future__ import annotations
 
 import json
-import os
 import re
-import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -42,6 +42,7 @@ from repro.exceptions import OrchestrationError
 from repro.experiments.spec import RunSpec, SweepSpec
 from repro.store.codec import decode_run_spec, encode_run_spec
 from repro.store.fingerprint import run_fingerprint
+from repro.utils.serialization import atomic_write_text
 
 __all__ = [
     "QUEUE_SCHEMA_VERSION",
@@ -58,24 +59,11 @@ _WORKER_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 
 def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
-    """Write ``payload`` as JSON via a temp file + ``os.replace``.
-
-    Readers either see the previous content or the full new content, never a
-    torn file — ``os.replace`` is atomic on POSIX and Windows.  The temp file
-    name carries the pid *and* thread id so concurrent writers to one target
-    (other processes, or worker threads sharing a process) cannot collide on
-    the temp path itself.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temp = (
-        path.parent
-        / f".tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
-    )
-    with temp.open("w", encoding="utf-8", newline="\n") as handle:
-        handle.write(json.dumps(payload, sort_keys=True) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
+    """Write ``payload`` as JSON via the shared temp-file + ``os.replace``
+    helper (:func:`repro.utils.serialization.atomic_write_text`): readers
+    either see the previous content or the full new content, never a torn
+    file."""
+    atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
 
 
 def _read_json(path: Path) -> Optional[Dict[str, Any]]:
@@ -116,6 +104,14 @@ class WorkQueue:
         return self.path / "done"
 
     @property
+    def failed_dir(self) -> Path:
+        return self.path / "failed"
+
+    @property
+    def checkpoints_dir(self) -> Path:
+        return self.path / "checkpoints"
+
+    @property
     def stores_dir(self) -> Path:
         return self.path / "stores"
 
@@ -124,6 +120,9 @@ class WorkQueue:
 
     def done_path(self, fingerprint: str) -> Path:
         return self.done_dir / f"{fingerprint}.json"
+
+    def failed_path(self, fingerprint: str) -> Path:
+        return self.failed_dir / f"{fingerprint}.json"
 
     def worker_store_path(self, worker_id: str) -> Path:
         return self.stores_dir / f"{worker_id}.jsonl"
@@ -152,7 +151,13 @@ class WorkQueue:
                     f"queue {queue.path} already holds a different sweep "
                     f"({len(stale)} runs); use a fresh directory"
                 )
-        for directory in (queue.claims_dir, queue.done_dir, queue.stores_dir):
+        for directory in (
+            queue.claims_dir,
+            queue.done_dir,
+            queue.failed_dir,
+            queue.checkpoints_dir,
+            queue.stores_dir,
+        ):
             directory.mkdir(parents=True, exist_ok=True)
         atomic_write_json(
             queue.manifest_path,
@@ -229,6 +234,47 @@ class WorkQueue:
         return sorted(
             path.stem for path in self.done_dir.glob("*.json")
         )
+
+    # -- permanent-failure markers --------------------------------------------- #
+
+    def is_failed(self, fingerprint: str) -> bool:
+        return self.failed_path(fingerprint).exists()
+
+    def mark_failed(
+        self,
+        fingerprint: str,
+        *,
+        worker_id: str,
+        run_id: str,
+        error: str,
+        attempts: int,
+    ) -> None:
+        """Atomically record that a run exhausted its retry budget.
+
+        A failed marker terminates the run for drain purposes — workers skip
+        it and ``finalize`` *names* it instead of reporting an eternally
+        undrained queue.  Deleting the marker (after fixing the cause) makes
+        the run claimable again.
+        """
+        atomic_write_json(
+            self.failed_path(fingerprint),
+            {
+                "fingerprint": fingerprint,
+                "run_id": run_id,
+                "worker": worker_id,
+                "error": error,
+                "attempts": attempts,
+                "failed_at": time.time(),
+            },
+        )
+
+    def failed_record(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        return _read_json(self.failed_path(fingerprint))
+
+    def failed_fingerprints(self) -> List[str]:
+        if not self.failed_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.failed_dir.glob("*.json"))
 
     # -- stores ---------------------------------------------------------------- #
 

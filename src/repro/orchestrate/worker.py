@@ -4,20 +4,32 @@ One worker is one ``run_worker`` call (typically one
 ``python -m repro.orchestrate worker`` process, possibly on another node
 sharing the queue directory).  Each pass over the manifest the worker:
 
-1. skips runs with a done marker;
+1. skips runs with a done marker or a permanent-failure marker;
 2. heals its own crash window — a fingerprint already in *its* store but not
    marked done (the crash happened between append and marker) is marked done
    without re-executing;
 3. claims the first available run (``O_EXCL`` create, or stealing a claim
    whose lease expired — that is the dynamic balancing: a fast worker drains
-   what a slow or dead one cannot) and executes it under a heartbeat;
-4. appends the finished record to its per-worker
-   :class:`~repro.store.RunStore` and publishes the done marker.
+   what a slow or dead one cannot) and executes it under a heartbeat,
+   **resuming from the last restorable cycle checkpoint** when one exists —
+   a stolen half-finished campaign re-executes at most one cycle, not the
+   whole run;
+4. streams a checkpoint per completed cycle next to its heartbeat, appends
+   the finished record to its per-worker :class:`~repro.store.RunStore`,
+   publishes the done marker, and discards the run's checkpoints.
+
+Deterministically failing runs are governed by ``max_attempts``: with the
+default (1) a failure releases the claim and fails fast, exactly as before;
+with a budget ``N > 1`` the worker retries in place (the attempt count rides
+in the claim file, so it survives steals) and, once the budget is spent,
+publishes a ``failed/`` marker and moves on — the queue still drains, and
+``finalize`` names the failed runs instead of hanging.
 
 When nothing is claimable the worker either sleeps and re-polls (default:
 someone must outlive stalled peers to steal their leases) or returns
 (``wait=False``, for fixed-size worker fleets whose launcher re-invokes or
-finalizes).  The loop ends when every manifest run has a done marker.
+finalizes).  The loop ends when every manifest run has a done (or failed)
+marker.
 """
 
 from __future__ import annotations
@@ -29,12 +41,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
+from repro.core.protocols import CampaignState
 from repro.core.results import CampaignResult
-from repro.exceptions import OrchestrationError
-from repro.experiments.spec import RunSpec
+from repro.exceptions import OrchestrationError, StoreError
 from repro.experiments.suite import SuiteRunRecord, execute_run
-from repro.orchestrate.lease import Heartbeat, release_claim, try_claim, try_steal
+from repro.orchestrate.lease import (
+    Heartbeat,
+    read_lease,
+    refresh_lease,
+    release_claim,
+    try_claim,
+    try_steal,
+)
 from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
+from repro.store.checkpoint import CheckpointStore
 from repro.store.runstore import RunStore
 
 __all__ = ["WorkerOutcome", "default_worker_id", "run_worker"]
@@ -44,6 +64,13 @@ DEFAULT_LEASE_SECONDS = 30.0
 
 #: Seconds an idle (nothing claimable) worker sleeps between manifest passes.
 DEFAULT_POLL_SECONDS = 0.5
+
+#: Minimum wall-clock spacing between checkpoint saves of one run.  Real
+#: campaign cycles take minutes to hours, so every cycle checkpoints; the
+#: throttle only kicks in for sub-second simulated runs, where per-cycle
+#: serialisation would dominate and a preempted run loses at most this much
+#: work anyway.  ``0`` checkpoints every cycle unconditionally.
+DEFAULT_CHECKPOINT_SECONDS = 1.0
 
 
 def default_worker_id() -> str:
@@ -62,6 +89,11 @@ class WorkerOutcome:
     executed: List[str] = field(default_factory=list)
     #: Executed run ids that were stolen from an expired lease.
     stolen: List[str] = field(default_factory=list)
+    #: ``(run_id, cycle)`` pairs resumed from a checkpoint instead of
+    #: starting over (the cycle is where execution picked back up).
+    resumed: List[Tuple[str, int]] = field(default_factory=list)
+    #: Run ids that exhausted their retry budget (failed marker published).
+    failed: List[str] = field(default_factory=list)
     #: Fingerprints healed from this worker's own store (crash between
     #: append and done marker) without re-execution.
     healed: List[str] = field(default_factory=list)
@@ -80,8 +112,10 @@ def run_worker(
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
     poll_seconds: float = DEFAULT_POLL_SECONDS,
     max_runs: Optional[int] = None,
+    max_attempts: int = 1,
+    checkpoint_seconds: float = DEFAULT_CHECKPOINT_SECONDS,
     wait: bool = True,
-    execute: Callable[[RunSpec], Tuple[CampaignResult, float]] = execute_run,
+    execute: Callable[..., Tuple[CampaignResult, float]] = execute_run,
     on_progress: Optional[Callable[[str, QueueEntry], None]] = None,
 ) -> WorkerOutcome:
     """Drain runs from ``queue`` until the sweep completes (or ``max_runs``).
@@ -107,27 +141,43 @@ def run_worker(
         Idle sleep between manifest passes when nothing was claimable.
     max_runs:
         Stop after executing this many runs (testing/draining aid).
+    max_attempts:
+        Execution-failure budget per run.  ``1`` (default) keeps the
+        original fail-fast contract: the claim is released and the worker
+        raises.  ``N > 1`` retries the run in place — resuming from its own
+        checkpoints — and, once the budget is spent, publishes a ``failed/``
+        marker and continues draining; the attempt count is carried in the
+        claim file so it survives steals.
+    checkpoint_seconds:
+        Minimum wall-clock spacing between checkpoint saves of one run
+        (``0`` = every cycle boundary).  The default keeps per-cycle
+        checkpointing for realistic cycle times while bounding the
+        serialisation overhead of very fast simulated runs.
     wait:
         When False, return as soon as a full pass finds nothing claimable
         instead of polling until every run is done.
     execute:
-        Run executor (injectable for tests); defaults to
+        Run executor (injectable for tests); called as
+        ``execute(spec, resume_state=..., on_cycle=...)`` and defaults to
         :func:`repro.experiments.suite.execute_run`.
     on_progress:
         Optional callback ``(event, entry)`` with events ``"claim"``,
-        ``"steal"``, ``"done"``, ``"heal"`` — the CLI's log line hook.
-
-    A failing run releases its claim (so a peer retries it) and re-raises as
-    :class:`OrchestrationError` — fail fast, matching the suite engine.
+        ``"steal"``, ``"resume"``, ``"retry"``, ``"done"``, ``"failed"``,
+        ``"heal"`` — the CLI's log line hook.
     """
     queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
     worker = validate_worker_id(worker_id or default_worker_id())
     if lease_seconds <= 0 or poll_seconds <= 0:
         raise OrchestrationError("lease_seconds and poll_seconds must be > 0")
+    if max_attempts < 1:
+        raise OrchestrationError("max_attempts must be >= 1")
+    if checkpoint_seconds < 0:
+        raise OrchestrationError("checkpoint_seconds must be >= 0")
     entries = queue.entries()
     store = RunStore(
         queue.worker_store_path(worker) if store_path is None else store_path
     )
+    checkpoints = CheckpointStore(queue.checkpoints_dir)
     outcome = WorkerOutcome(worker_id=worker, store_path=store.path)
     start = time.perf_counter()
 
@@ -138,10 +188,17 @@ def run_worker(
     while True:
         claimed_any = False
         pending = 0
+        # Checkpoints are transient: sweep up files orphaned by a crash in
+        # the done-marker window (one readdir per pass, targeted unlinks).
+        leftover_checkpoints = set(checkpoints.fingerprints())
         for entry in entries:
             if max_runs is not None and outcome.n_executed >= max_runs:
                 break
             if queue.is_done(entry.fingerprint):
+                if entry.fingerprint in leftover_checkpoints:
+                    checkpoints.discard(entry.fingerprint)
+                continue
+            if queue.is_failed(entry.fingerprint):
                 continue
             if entry.fingerprint in store:
                 # Our own earlier life appended this record but crashed
@@ -153,51 +210,153 @@ def run_worker(
                     run_id=entry.spec.run_id,
                     wall_seconds=stored.wall_seconds,
                 )
+                checkpoints.discard(entry.fingerprint)
                 outcome.healed.append(entry.fingerprint)
                 notify("heal", entry)
                 continue
             pending += 1
             claim = queue.claim_path(entry.fingerprint)
+            prior = read_lease(claim)
             if try_claim(claim, worker):
                 stolen = False
+                attempt = 1
             elif try_steal(claim, worker, lease_seconds):
                 stolen = True
+                # Inherit the victim's position in the retry budget (torn or
+                # vanished claims read as attempt 1).
+                attempt = prior.attempt if prior is not None else 1
             else:
                 continue  # held by a live peer
             claimed_any = True
             notify("steal" if stolen else "claim", entry)
-            try:
-                with Heartbeat(claim, worker, lease_seconds):
-                    result, seconds = execute(entry.spec)
-                # Store/marker failures (full disk, queue-FS hiccup) release
-                # the claim like execution failures, so a peer retries
-                # immediately instead of waiting out the lease.
-                record = SuiteRunRecord(
-                    spec=entry.spec, result=result, wall_seconds=seconds
-                )
-                store.append(record, fingerprint=entry.fingerprint)
-                queue.mark_done(
-                    entry.fingerprint,
-                    worker_id=worker,
-                    run_id=entry.spec.run_id,
-                    wall_seconds=seconds,
-                )
-            except Exception as error:
-                release_claim(claim)
-                raise OrchestrationError(
-                    f"worker {worker}: run {entry.spec.run_id!r} failed: {error}"
-                ) from error
-            outcome.executed.append(entry.spec.run_id)
-            if stolen:
-                outcome.stolen.append(entry.spec.run_id)
-            notify("done", entry)
+            if _execute_with_budget(
+                queue, entry, claim, worker, attempt, max_attempts,
+                lease_seconds, checkpoint_seconds, execute, store,
+                checkpoints, outcome, notify,
+            ):
+                outcome.executed.append(entry.spec.run_id)
+                if stolen:
+                    outcome.stolen.append(entry.spec.run_id)
+                notify("done", entry)
         if max_runs is not None and outcome.n_executed >= max_runs:
             break
         if pending == 0:
-            break  # every run has a done marker (or was healed above)
+            break  # every run has a done/failed marker (or was healed above)
         if not claimed_any:
             if not wait:
                 break  # live peers hold everything that's left
             time.sleep(poll_seconds)
     outcome.wall_seconds = time.perf_counter() - start
     return outcome
+
+
+def _load_resume_state(
+    checkpoints: CheckpointStore, entry: QueueEntry, claim: Path
+) -> Optional[CampaignState]:
+    """The newest restorable checkpoint for ``entry``, or ``None``.
+
+    An unreadable-by-design checkpoint (unknown schema version) must not be
+    silently ignored — that would quietly restart a run a newer build could
+    have resumed — so it surfaces as a hard error after releasing the claim.
+    """
+    try:
+        return checkpoints.latest_restorable(entry.fingerprint)
+    except StoreError as error:
+        release_claim(claim)
+        raise OrchestrationError(
+            f"run {entry.spec.run_id!r} has an unusable checkpoint: {error}"
+        ) from error
+
+
+def _execute_with_budget(
+    queue: WorkQueue,
+    entry: QueueEntry,
+    claim: Path,
+    worker: str,
+    attempt: int,
+    max_attempts: int,
+    lease_seconds: float,
+    checkpoint_seconds: float,
+    execute: Callable[..., Tuple[CampaignResult, float]],
+    store: RunStore,
+    checkpoints: CheckpointStore,
+    outcome: WorkerOutcome,
+    notify: Callable[[str, QueueEntry], None],
+) -> bool:
+    """Run one claimed entry to completion, retrying within the budget.
+
+    Returns True when the run finished (record stored, marker published);
+    False when the retry budget was spent and a failed marker was published.
+    A failure with the default budget of 1 re-raises (original fail-fast).
+    """
+
+    last_save = float("-inf")
+
+    def on_cycle(state: CampaignState) -> None:
+        nonlocal last_save
+        now = time.monotonic()
+        if now - last_save < checkpoint_seconds:
+            return
+        try:
+            checkpoints.save(
+                entry.fingerprint, state, run_id=entry.spec.run_id, worker=worker
+            )
+        except OSError:
+            # Checkpoints accelerate recovery, they do not gate correctness:
+            # a save that fails (queue-FS hiccup, ENOSPC) must not abort —
+            # let alone permanently fail — a healthy run.  Skip this cycle's
+            # checkpoint and keep executing; the next save retries.
+            return
+        last_save = now
+
+    while True:
+        resume = _load_resume_state(checkpoints, entry, claim)
+        if resume is not None:
+            outcome.resumed.append((entry.spec.run_id, resume.cycle))
+            notify("resume", entry)
+        try:
+            with Heartbeat(claim, worker, lease_seconds, attempt=attempt):
+                result, seconds = execute(
+                    entry.spec, resume_state=resume, on_cycle=on_cycle
+                )
+            # Store/marker failures (full disk, queue-FS hiccup) release
+            # the claim like execution failures, so a peer retries
+            # immediately instead of waiting out the lease.
+            record = SuiteRunRecord(
+                spec=entry.spec, result=result, wall_seconds=seconds
+            )
+            store.append(record, fingerprint=entry.fingerprint)
+            queue.mark_done(
+                entry.fingerprint,
+                worker_id=worker,
+                run_id=entry.spec.run_id,
+                wall_seconds=seconds,
+            )
+            checkpoints.discard(entry.fingerprint)
+            return True
+        except Exception as error:
+            if attempt < max_attempts:
+                attempt += 1
+                refresh_lease(claim, worker, time.time(), attempt)
+                notify("retry", entry)
+                continue
+            if max_attempts == 1:
+                # The original contract: release and fail fast.
+                release_claim(claim)
+                raise OrchestrationError(
+                    f"worker {worker}: run {entry.spec.run_id!r} failed: {error}"
+                ) from error
+            # Budget spent: terminate the run for drain purposes and move
+            # on.  The checkpoints are kept — after the cause is fixed,
+            # deleting the failed marker resumes at the last good cycle.
+            queue.mark_failed(
+                entry.fingerprint,
+                worker_id=worker,
+                run_id=entry.spec.run_id,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempt,
+            )
+            release_claim(claim)
+            outcome.failed.append(entry.spec.run_id)
+            notify("failed", entry)
+            return False

@@ -9,10 +9,16 @@ makes them durable artifacts:
 * :mod:`repro.store.runstore` — :class:`RunStore`, an append-only JSONL file
   of finished runs keyed by fingerprint, with lazy loads, crash-safe appends
   and :func:`merge_stores` for combining shards.
+* :mod:`repro.store.checkpoint` — :class:`CheckpointStore`, fingerprint-keyed
+  per-cycle campaign checkpoints (atomic replace, torn-line fallback to the
+  previous cycle, schema-versioned) backing mid-run suspend/resume and
+  preemptive work stealing.
+* :mod:`repro.store.migrate` — the schema-version migration registry and
+  ``migrate`` rewriter for run stores.
 * :mod:`repro.store.shard` — the deterministic ``runs[i::n]`` cross-machine
   partition of an expanded sweep.
 * :mod:`repro.store.cli` — ``python -m repro.store`` (``inspect`` / ``merge``
-  / ``report``).
+  / ``report`` / ``prune`` / ``migrate``).
 
 Resumable sweep in four lines::
 
@@ -25,8 +31,14 @@ Resumable sweep in four lines::
     outcome = CampaignSuite(SweepSpec(seeds=(0, 1, 2, 3))).run(store=store)
 """
 
+from repro.store.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointRecord,
+    CheckpointStore,
+)
 from repro.store.codec import decode_run_spec, encode_run_spec
 from repro.store.fingerprint import canonical_json, run_fingerprint
+from repro.store.migrate import migrate_payload, migrate_store, register_migration
 from repro.store.runstore import (
     STORE_SCHEMA_VERSION,
     RunStore,
@@ -38,7 +50,10 @@ from repro.store.runstore import (
 from repro.store.shard import parse_shard, shard_runs
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
+    "CheckpointRecord",
+    "CheckpointStore",
     "RunStore",
     "StoredCampaignResult",
     "StoredRun",
@@ -46,8 +61,11 @@ __all__ = [
     "decode_run_spec",
     "encode_run_spec",
     "merge_stores",
+    "migrate_payload",
+    "migrate_store",
     "parse_shard",
     "prune_store",
+    "register_migration",
     "run_fingerprint",
     "shard_runs",
 ]

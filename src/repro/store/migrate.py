@@ -1,0 +1,144 @@
+"""Schema-version migrations for persistent run stores.
+
+Run-store lines are stamped with ``schema_version`` and readers reject
+unknown versions outright (half-parsing a newer layout silently corrupts
+science).  That strictness needs an escape hatch the day the layout *does*
+change: ``python -m repro.store migrate`` rewrites a store line-by-line,
+applying the registered migration chain until every record reaches the
+current version, and replaces the file atomically (write-temp +
+``os.replace`` — a crash mid-migration leaves the original untouched).
+
+The registry maps a source ``schema_version`` to a function returning the
+payload at a *strictly newer* version.  The migration registered for the
+**current** version is the identity — today's v1 → current no-op — so the
+tool is exercised end-to-end now and the next real schema bump only has to
+register its hop.  Versions with no registered migration (including any
+future version this build has never heard of) are rejected with a clear
+error, exactly like the reader.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.exceptions import StoreError
+from repro.store.runstore import STORE_SCHEMA_VERSION, RunStore
+from repro.utils.serialization import atomic_write_text
+
+__all__ = [
+    "MIGRATIONS",
+    "register_migration",
+    "migrate_payload",
+    "migrate_store",
+]
+
+#: ``source schema_version -> migration`` registry.  Each migration returns
+#: the payload re-stamped at a strictly newer version (the identity for the
+#: current version).
+MIGRATIONS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+
+
+def register_migration(
+    from_version: int, migration: Callable[[Dict[str, Any]], Dict[str, Any]]
+) -> None:
+    """Register the migration applied to records at ``from_version``."""
+    if from_version in MIGRATIONS:
+        raise StoreError(
+            f"a migration from schema_version {from_version} is already "
+            "registered"
+        )
+    MIGRATIONS[from_version] = migration
+
+
+def _identity(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 → current: the current layout needs no rewriting."""
+    return payload
+
+
+register_migration(STORE_SCHEMA_VERSION, _identity)
+
+
+def migrate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Carry one record payload to the current schema version.
+
+    Raises
+    ------
+    StoreError
+        When the record's version has no registered migration path — either
+        a future version this build does not know, or a gap in the chain.
+    """
+    version = payload.get("schema_version")
+    if not isinstance(version, int):
+        raise StoreError(
+            f"record has no integer schema_version (got {version!r}); "
+            "not a run-store line"
+        )
+    while True:
+        migration = MIGRATIONS.get(version)
+        if migration is None:
+            raise StoreError(
+                f"no migration path from schema_version {version} to "
+                f"{STORE_SCHEMA_VERSION}; this build migrates from: "
+                f"{sorted(MIGRATIONS)}"
+            )
+        payload = migration(payload)
+        new_version = payload.get("schema_version")
+        if new_version == STORE_SCHEMA_VERSION:
+            return payload
+        if not isinstance(new_version, int) or new_version <= version:
+            raise StoreError(
+                f"migration from schema_version {version} did not advance "
+                f"(produced {new_version!r})"
+            )
+        version = new_version
+
+
+def migrate_store(
+    path: Union[str, Path],
+    output: Optional[Union[str, Path]] = None,
+) -> Tuple[RunStore, int]:
+    """Rewrite a store with every record at the current schema version.
+
+    Records are processed line-by-line in file order (order is preserved —
+    use ``prune`` for canonicalisation); blank lines are dropped, a
+    truncated final line (crash mid-append) is dropped like the reader
+    does, and any unparseable complete line is a hard error.  With
+    ``output=None`` the store is replaced atomically in place.
+
+    Returns ``(migrated_store, n_changed)`` where ``n_changed`` counts the
+    records that actually moved versions.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise StoreError(f"no such store: {source}")
+    lines = []
+    n_changed = 0
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.endswith("\n"):
+                break  # torn tail from a crash mid-append: drop it
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise StoreError(
+                    f"corrupt run store {source} at line {line_number}: {error}"
+                ) from error
+            if not isinstance(payload, dict):
+                raise StoreError(
+                    f"corrupt run store {source} at line {line_number}: "
+                    "not a run record"
+                )
+            before = payload.get("schema_version")
+            payload = migrate_payload(payload)
+            if payload.get("schema_version") != before:
+                n_changed += 1
+            lines.append(json.dumps(payload, sort_keys=True))
+    output_path = source if output is None else Path(output)
+    atomic_write_text(
+        output_path, "".join(line + "\n" for line in lines)
+    )
+    return RunStore(output_path), n_changed

@@ -10,12 +10,44 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
+import threading
 from pathlib import Path
 from typing import Any, Union
 
 import numpy as np
 
-__all__ = ["to_jsonable", "dump_json", "load_json"]
+__all__ = ["atomic_write_text", "to_jsonable", "dump_json", "load_json"]
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, *, fsync: bool = True
+) -> None:
+    """Write ``text`` to ``path`` via a temp file + ``os.replace``.
+
+    Readers either see the previous content or the full new content, never a
+    torn file — ``os.replace`` is atomic on POSIX and Windows.  The temp file
+    name carries the pid *and* thread id so concurrent writers to one target
+    (other processes, or worker threads sharing a process) cannot collide on
+    the temp path itself.  ``fsync=False`` skips the flush-to-disk barrier
+    for writes whose loss only costs recomputation (e.g. checkpoints).
+
+    The single definition of the write-temp-then-replace pattern used by the
+    work queue's coordination files, the checkpoint store and the store
+    migrator.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = (
+        path.parent
+        / f".tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
+    )
+    with temp.open("w", encoding="utf-8", newline="\n") as handle:
+        handle.write(text)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(temp, path)
 
 
 def to_jsonable(obj: Any) -> Any:

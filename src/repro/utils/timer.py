@@ -1,4 +1,4 @@
-"""Wall-clock timing helpers for the benchmark harness."""
+"""Wall-clock timing helpers: the benchmark stopwatch and duration text."""
 
 from __future__ import annotations
 
@@ -6,7 +6,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["Stopwatch"]
+__all__ = ["Stopwatch", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as ``2h 34m 11s`` style text.
+
+    Sub-minute durations keep two decimals (``37.25s``); longer ones use
+    whole seconds across day/hour/minute components, dropping leading zero
+    components (``9251`` → ``2h 34m 11s``).  The shared helper behind every
+    human-facing duration in progress reports.
+    """
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    remaining = int(round(seconds))
+    parts = []
+    for label, size in (("d", 86400), ("h", 3600), ("m", 60)):
+        value, remaining = divmod(remaining, size)
+        if value or parts:
+            parts.append(f"{value}{label}")
+    parts.append(f"{remaining}s")
+    return " ".join(parts)
 
 
 @dataclass

@@ -144,3 +144,55 @@ class TestReporting:
         text = format_utilization_table(reports)
         assert "CONT-V" in text and "IM-RP" in text
         assert "CPU" in text and "GPU" in text
+
+
+class TestQueueProgressReport:
+    """Cycle-aware queue progress: humanized durations, ETA credit, failed."""
+
+    @staticmethod
+    def _progress(**overrides):
+        from repro.analysis.progress import QueueProgress
+
+        defaults = dict(
+            n_runs=8, n_done=4, n_running=2, n_stale=0, n_unclaimed=2,
+            done_wall_seconds=9251.0,
+            completion_span=(1000.0, 1000.0 + 3 * 60.0),  # 1 run/min
+        )
+        defaults.update(overrides)
+        return QueueProgress(**defaults)
+
+    def test_durations_are_humanized(self):
+        from repro.analysis.progress import format_queue_progress
+
+        text = format_queue_progress(self._progress())
+        assert "executed wall time:     2h 34m 11s" in text
+        assert "9251" not in text
+        # ETA: 4 runs remaining at 1 run/min.
+        assert "est. time to drain:     4m 0s" in text
+
+    def test_eta_credits_checkpointed_cycles(self):
+        from repro.analysis.progress import RunInFlight, format_queue_progress
+
+        running = [
+            RunInFlight("cont-v-s0", "w0", 2.0, cycle=9, cycles_total=12),
+            RunInFlight("im-rp-s0", "w1", 1.0),  # no checkpoint: no credit
+        ]
+        progress = self._progress(running=running)
+        assert progress.cycles_in_flight_credit == pytest.approx(0.75)
+        # 8 - 4 done - 0.75 credit = 3.25 runs at 1 run/min.
+        assert progress.eta_seconds == pytest.approx(195.0)
+        text = format_queue_progress(progress)
+        assert "cycle 9/12" in text
+        assert "im-rp-s0" in text
+
+    def test_failed_runs_shown_and_excluded_from_eta(self):
+        from repro.analysis.progress import format_queue_progress
+
+        progress = self._progress(n_failed=2, n_unclaimed=0)
+        assert progress.eta_seconds == pytest.approx(120.0)
+        assert "failed (budget spent):  2" in format_queue_progress(progress)
+
+    def test_no_failed_line_when_zero(self):
+        from repro.analysis.progress import format_queue_progress
+
+        assert "failed" not in format_queue_progress(self._progress())

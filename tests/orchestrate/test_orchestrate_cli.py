@@ -94,3 +94,28 @@ class TestOrchestrateCli:
         )
         assert code == 2
         assert "unknown protocols" in capsys.readouterr().err
+
+
+class TestWorkerRetryFlags:
+    def test_max_attempts_rejects_non_positive(self, tmp_path, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            orchestrate_main(
+                ["worker", "--queue", str(tmp_path / "q"), "--max-attempts", "0"]
+            )
+
+    def test_max_attempts_accepted(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        capsys.readouterr()
+        assert (
+            orchestrate_main(
+                [
+                    "worker", "--queue", str(queue_dir),
+                    "--worker-id", "w0", "--no-wait", "--max-attempts", "3",
+                ]
+            )
+            == 0
+        )
+        assert "executed 2 run(s)" in capsys.readouterr().out

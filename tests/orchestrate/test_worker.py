@@ -1,13 +1,20 @@
-"""Worker-loop behaviour: draining, stealing, healing, failure modes, and the
-distributed determinism contract (2-worker finalize == serial suite store)."""
+"""Worker-loop behaviour: draining, stealing, healing, failure modes, retry
+budgets, preemptive checkpoint resume, and the distributed determinism
+contract (2-worker finalize == serial suite store, kill-and-steal included)."""
 
 from __future__ import annotations
 
+import json
+import signal
+import subprocess
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.exceptions import OrchestrationError
 from repro.experiments import CampaignSuite, SweepSpec, TargetSpec
 from repro.experiments.suite import SuiteRunRecord, execute_run
@@ -20,7 +27,7 @@ from repro.orchestrate import (
     try_claim,
 )
 from repro.orchestrate.queue import atomic_write_json
-from repro.store import RunStore, prune_store
+from repro.store import CheckpointStore, RunStore, prune_store
 
 SWEEP = SweepSpec(
     protocols=("im-rp", "cont-v"),
@@ -46,7 +53,7 @@ class FakeResult:
 
 
 def fake_execute(calls=None):
-    def execute(spec):
+    def execute(spec, *, resume_state=None, on_cycle=None):
         if calls is not None:
             calls.append(spec.run_id)
         return FakeResult(spec), 0.01
@@ -185,7 +192,7 @@ class TestFailureModes:
         assert queue.done_record(entry.fingerprint)["wall_seconds"] == 0.5
 
     def test_failing_run_releases_the_claim_and_fails_fast(self, queue):
-        def exploding(spec):
+        def exploding(spec, *, resume_state=None, on_cycle=None):
             raise RuntimeError("boom")
 
         with pytest.raises(OrchestrationError, match="boom"):
@@ -243,6 +250,251 @@ class TestFailureModes:
             extra_stores=[tmp_path / "lost.jsonl"],
         )
         assert len(merged) == 4
+
+
+class TestRetryBudgets:
+    """``max_attempts``: in-place retries, failed/ markers, attempt leases."""
+
+    def _fail_run(self, run_id, failures_left):
+        budget = {"left": failures_left}
+
+        def execute(spec, *, resume_state=None, on_cycle=None):
+            if spec.run_id == run_id and budget["left"] > 0:
+                budget["left"] -= 1
+                raise RuntimeError("flaky")
+            return FakeResult(spec), 0.01
+
+        return execute
+
+    def test_retry_succeeds_within_budget(self, queue):
+        target = queue.entries()[0].spec.run_id
+        outcome = run_worker(
+            queue, worker_id="w0",
+            execute=self._fail_run(target, failures_left=1), max_attempts=2,
+        )
+        assert outcome.n_executed == 4 and outcome.failed == []
+        assert all(queue.is_done(e.fingerprint) for e in queue.entries())
+
+    def test_budget_spent_publishes_failed_marker_and_drains(self, queue):
+        entry = queue.entries()[0]
+        outcome = run_worker(
+            queue, worker_id="w0",
+            execute=self._fail_run(entry.spec.run_id, failures_left=99),
+            max_attempts=2,
+        )
+        # The worker did NOT raise: the poisoned run is terminated, the
+        # other three completed, and the loop drained.
+        assert outcome.failed == [entry.spec.run_id]
+        assert outcome.n_executed == 3
+        record = queue.failed_record(entry.fingerprint)
+        assert record["attempts"] == 2 and "flaky" in record["error"]
+        # Claim released so a manual retry (marker deleted) can reclaim.
+        assert read_lease(queue.claim_path(entry.fingerprint)) is None
+        progress = queue_progress(queue)
+        assert progress.n_failed == 1 and progress.n_done == 3
+
+    def test_finalize_names_failed_runs(self, queue, tmp_path):
+        entry = queue.entries()[0]
+        run_worker(
+            queue, worker_id="w0",
+            execute=self._fail_run(entry.spec.run_id, failures_left=99),
+            max_attempts=2,
+        )
+        with pytest.raises(OrchestrationError, match=entry.spec.run_id):
+            finalize_queue(queue, tmp_path / "merged.jsonl")
+        partial = finalize_queue(
+            queue, tmp_path / "partial.jsonl", require_complete=False
+        )
+        assert len(partial) == 3
+
+    def test_stolen_claim_inherits_attempt_count(self, queue):
+        """A stealer resumes the victim's budget position, not attempt 1."""
+        entry = queue.entries()[0]
+        stale = time.time() - 3600.0
+        atomic_write_json(
+            queue.claim_path(entry.fingerprint),
+            {
+                "worker": "dead", "claimed_at": stale,
+                "heartbeat_at": stale, "attempt": 2,
+            },
+        )
+        outcome = run_worker(
+            queue, worker_id="w1", lease_seconds=0.5,
+            execute=self._fail_run(entry.spec.run_id, failures_left=99),
+            max_attempts=2,
+        )
+        # Inherited attempt 2 == budget: one failure marks it failed outright.
+        assert outcome.failed == [entry.spec.run_id]
+        assert queue.failed_record(entry.fingerprint)["attempts"] == 2
+
+    def test_default_budget_keeps_fail_fast(self, queue):
+        with pytest.raises(OrchestrationError, match="flaky"):
+            run_worker(
+                queue, worker_id="w0",
+                execute=self._fail_run(queue.entries()[0].spec.run_id, 99),
+            )
+        assert queue.failed_fingerprints() == []
+
+
+#: A long sequential campaign: 4 targets x 3 cycles = 12 checkpointable steps.
+LONG_SWEEP = SweepSpec(
+    protocols=("cont-v",),
+    seeds=(3, 5),
+    targets=TargetSpec(kind="named-pdz", seed=11),
+    base={"n_cycles": 3, "n_sequences": 4},
+)
+
+#: Worker script that SIGKILLs itself after streaming KILL_AFTER checkpoints
+#: of its first claimed run — a genuine mid-campaign crash (no cleanup, no
+#: claim release, heartbeat dies with the process).
+VICTIM_SCRIPT = """
+import os, signal, sys
+sys.path.insert(0, {src!r})
+from repro.orchestrate import run_worker
+from repro.experiments.suite import execute_run
+
+def killer(spec, *, resume_state=None, on_cycle=None):
+    count = 0
+    def hook(state):
+        nonlocal count
+        on_cycle(state)
+        count += 1
+        if count >= {kill_after}:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return execute_run(spec, resume_state=resume_state, on_cycle=hook)
+
+run_worker(
+    {queue!r}, worker_id="victim", execute=killer,
+    lease_seconds=30.0, checkpoint_seconds=0.0,
+)
+"""
+
+
+def _repro_src():
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def entry_run_ids(queue):
+    return [entry.spec.run_id for entry in queue.entries()]
+
+
+def _kill_worker_mid_campaign(queue, kill_after):
+    script = VICTIM_SCRIPT.format(
+        src=_repro_src(), queue=str(queue.path), kill_after=kill_after
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+    return proc
+
+
+class TestPreemptiveStealing:
+    """SIGKILL mid-campaign → steal → resume-from-checkpoint byte-identity."""
+
+    @pytest.fixture()
+    def long_queue(self, tmp_path):
+        return WorkQueue.create(tmp_path / "queue", LONG_SWEEP)
+
+    def _serial_reference(self, tmp_path, sweep):
+        serial = RunStore(tmp_path / "serial.jsonl")
+        CampaignSuite(sweep, executor="serial").run(store=serial)
+        return prune_store(
+            serial.path, tmp_path / "serial-canonical.jsonl", strip_timing=True
+        )
+
+    def test_sigkilled_worker_resumed_byte_identically(self, long_queue, tmp_path):
+        _kill_worker_mid_campaign(long_queue, kill_after=3)
+        checkpoints = CheckpointStore(long_queue.checkpoints_dir)
+        [fingerprint] = checkpoints.fingerprints()
+        assert checkpoints.latest(fingerprint).cycle == 3
+        # The victim's claim is stale (heartbeat died with the process):
+        # a survivor steals it and resumes from the cycle-3 checkpoint.
+        survivor = run_worker(
+            long_queue, worker_id="survivor",
+            execute=execute_run, lease_seconds=0.5,
+        )
+        assert survivor.n_executed == 2
+        assert len(survivor.stolen) == 1
+        assert survivor.resumed and survivor.resumed[0][1] == 3
+        finalized = finalize_queue(
+            long_queue, tmp_path / "finalized.jsonl", strip_timing=True
+        )
+        reference = self._serial_reference(tmp_path, LONG_SWEEP)
+        assert finalized.path.read_bytes() == reference.path.read_bytes()
+        # Finished runs leave no checkpoints behind.
+        assert checkpoints.fingerprints() == []
+
+    def test_torn_checkpoint_falls_back_one_cycle(self, long_queue, tmp_path):
+        _kill_worker_mid_campaign(long_queue, kill_after=3)
+        checkpoints = CheckpointStore(long_queue.checkpoints_dir)
+        [fingerprint] = checkpoints.fingerprints()
+        # Tear the newest checkpoint line (crash on a non-atomic FS): the
+        # survivor must fall back to the cycle-2 checkpoint and still finish
+        # byte-identically (re-executing exactly one extra cycle).
+        path = checkpoints.path(fingerprint)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        survivor = run_worker(
+            long_queue, worker_id="survivor",
+            execute=execute_run, lease_seconds=0.5,
+        )
+        assert survivor.resumed and survivor.resumed[0][1] == 2
+        finalized = finalize_queue(
+            long_queue, tmp_path / "finalized.jsonl", strip_timing=True
+        )
+        reference = self._serial_reference(tmp_path, LONG_SWEEP)
+        assert finalized.path.read_bytes() == reference.path.read_bytes()
+
+    def test_unknown_checkpoint_schema_rejected(self, long_queue):
+        _kill_worker_mid_campaign(long_queue, kill_after=3)
+        checkpoints = CheckpointStore(long_queue.checkpoints_dir)
+        [fingerprint] = checkpoints.fingerprints()
+        path = checkpoints.path(fingerprint)
+        record = json.loads(path.read_text().splitlines()[-1])
+        record["schema_version"] = 99
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(OrchestrationError, match="unusable checkpoint"):
+            run_worker(
+                long_queue, worker_id="survivor",
+                execute=execute_run, lease_seconds=0.5,
+            )
+        # The claim was released: discarding the bad checkpoint unblocks.
+        checkpoints.discard(fingerprint)
+        outcome = run_worker(
+            long_queue, worker_id="survivor2",
+            execute=execute_run, lease_seconds=0.5,
+        )
+        assert entry_run_ids(long_queue)[0] in outcome.executed
+        assert all(
+            long_queue.is_done(entry.fingerprint)
+            for entry in long_queue.entries()
+        )
+
+    def test_status_reports_cycle_progress_of_in_flight_runs(self, long_queue):
+        """A live claim with checkpoints shows cycle-granular progress and
+        feeds the checkpoint-aware ETA credit."""
+        from repro.core.protocols import CampaignState
+
+        entry = long_queue.entries()[0]
+        checkpoints = CheckpointStore(long_queue.checkpoints_dir)
+        try_claim(long_queue.claim_path(entry.fingerprint), "parked")
+        checkpoints.save(
+            entry.fingerprint,
+            CampaignState(
+                protocol="cont-v", seed=3, cycle=9, cycles_total=12,
+                restorable=True, payload={"x": 1},
+            ),
+            run_id=entry.spec.run_id,
+            worker="parked",
+        )
+        progress = queue_progress(long_queue, lease_seconds=60.0)
+        [running] = progress.running
+        assert running.cycle == 9 and running.cycles_total == 12
+        assert progress.cycles_in_flight_credit == pytest.approx(0.75)
 
 
 class TestDistributedDeterminism:

@@ -1,0 +1,101 @@
+"""Store schema migrations: the v1→current no-op chain and its guard rails."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.experiments import CampaignSuite, SweepSpec, TargetSpec
+from repro.store import RunStore, migrate_payload, migrate_store
+from repro.store.cli import main as store_main
+from repro.store.migrate import MIGRATIONS, register_migration
+from repro.store.runstore import STORE_SCHEMA_VERSION
+
+SWEEP = SweepSpec(
+    protocols=("cont-v",),
+    seeds=(3,),
+    targets=TargetSpec(kind="named-pdz", seed=11),
+    base={"n_cycles": 1, "n_sequences": 4},
+)
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    store = RunStore(tmp_path / "sweep.jsonl")
+    CampaignSuite(SWEEP, executor="serial").run(store=store)
+    return store
+
+
+class TestMigratePayload:
+    def test_current_version_is_a_no_op(self):
+        payload = {"schema_version": STORE_SCHEMA_VERSION, "fingerprint": "x"}
+        assert migrate_payload(dict(payload)) == payload
+
+    def test_unknown_future_version_rejected(self):
+        with pytest.raises(StoreError, match="no migration path from schema_version 99"):
+            migrate_payload({"schema_version": 99})
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(StoreError, match="no integer schema_version"):
+            migrate_payload({"fingerprint": "x"})
+
+    def test_non_advancing_migration_rejected(self):
+        register_migration(0, lambda payload: dict(payload, schema_version=0))
+        try:
+            with pytest.raises(StoreError, match="did not advance"):
+                migrate_payload({"schema_version": 0})
+        finally:
+            MIGRATIONS.pop(0)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(StoreError, match="already registered"):
+            register_migration(STORE_SCHEMA_VERSION, lambda payload: payload)
+
+
+class TestMigrateStore:
+    def test_in_place_no_op_preserves_bytes(self, populated):
+        before = populated.path.read_bytes()
+        migrated, n_changed = migrate_store(populated.path)
+        assert n_changed == 0
+        assert migrated.path == populated.path
+        assert populated.path.read_bytes() == before
+
+    def test_output_mode_leaves_source_untouched(self, populated, tmp_path):
+        out = tmp_path / "migrated.jsonl"
+        migrated, _ = migrate_store(populated.path, out)
+        assert migrated.path == out
+        assert out.read_bytes() == populated.path.read_bytes()
+
+    def test_torn_tail_dropped(self, populated):
+        with populated.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "trunc')  # no newline
+        migrated, _ = migrate_store(populated.path)
+        assert len(migrated) == len(RunStore(migrated.path))
+        assert populated.path.read_text().endswith("\n")
+
+    def test_unknown_version_line_aborts_without_touching_store(self, populated):
+        line = json.loads(populated.path.read_text().splitlines()[0])
+        line["schema_version"] = 99
+        with populated.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(line) + "\n")
+        before = populated.path.read_bytes()
+        with pytest.raises(StoreError, match="no migration path"):
+            migrate_store(populated.path)
+        assert populated.path.read_bytes() == before  # atomic: untouched
+
+    def test_missing_store_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="no such store"):
+            migrate_store(tmp_path / "nope.jsonl")
+
+
+class TestMigrateCli:
+    def test_migrate_subcommand(self, populated, capsys):
+        assert store_main(["migrate", str(populated.path)]) == 0
+        out = capsys.readouterr().out
+        assert "Migrated" in out and "0 record(s) rewritten" in out
+
+    def test_missing_store_is_clean_error(self, tmp_path, capsys):
+        assert store_main(["migrate", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such store" in capsys.readouterr().err

@@ -149,3 +149,24 @@ class TestStopwatch:
         watch.start("a")
         watch.stop("a")
         assert "a" in watch.report()
+
+
+class TestFormatDuration:
+    def test_sub_minute_keeps_decimals(self):
+        from repro.utils.timer import format_duration
+
+        assert format_duration(0.25) == "0.25s"
+        assert format_duration(37.251) == "37.25s"
+
+    def test_h_m_s_style(self):
+        from repro.utils.timer import format_duration
+
+        assert format_duration(9251) == "2h 34m 11s"
+        assert format_duration(60) == "1m 0s"
+        assert format_duration(3600) == "1h 0m 0s"
+        assert format_duration(90061) == "1d 1h 1m 1s"
+
+    def test_negative_is_signed(self):
+        from repro.utils.timer import format_duration
+
+        assert format_duration(-61) == "-1m 1s"
