@@ -127,6 +127,56 @@ def test_orchestration_overhead_bounded(tmp_path):
     assert orchestrated_seconds < 2.0 * serial_seconds
 
 
+def test_disabled_failpoints_overhead_bounded(tmp_path):
+    """Failpoints sit unconditionally on every durability seam (store
+    appends, claims, heartbeats, markers) — no build flags, no
+    monkeypatching — so their *disabled* cost is paid by every ordinary
+    run.  Bound it: measure the per-call cost of a disabled
+    ``faults.failpoint``, count the real crossings of a full single-worker
+    drain with a zero-rate counting plan, and require the product to stay
+    within 5% of that drain's wall time."""
+    from repro import faults
+    from repro.faults import FaultPlan
+
+    faults.deactivate()
+    calls = 200_000
+    faults.failpoint("store.append")  # warm the lookup path
+    start = time.perf_counter()
+    for _ in range(calls):
+        faults.failpoint("store.append")
+    per_call_seconds = (time.perf_counter() - start) / calls
+
+    # A zero-rate plan never fires, but its per-site counters record every
+    # crossing an orchestrated drain actually makes.
+    queue = WorkQueue.create(tmp_path / "queue", UNEVEN_SWEEP)
+    plan = FaultPlan(0)
+    with faults.injected_plan(plan):
+        start = time.perf_counter()
+        outcome = run_worker(queue, worker_id="bench-fp")
+        drain_seconds = time.perf_counter() - start
+    assert outcome.n_executed == 8
+
+    crossings = sum(plan.invocations.values())
+    assert crossings >= 3 * outcome.n_executed  # claim + append + done, minimum
+    overhead_seconds = per_call_seconds * crossings
+    overhead_fraction = overhead_seconds / drain_seconds
+
+    print_banner(
+        "Fault injection — disabled-failpoint tax on the single-worker drain"
+    )
+    print(
+        f"disabled failpoint: {per_call_seconds * 1e9:.0f}ns/call; "
+        f"drain of 8 runs crossed {crossings} failpoints across "
+        f"{len(plan.invocations)} sites in {drain_seconds:.2f}s"
+    )
+    print(
+        f"total failpoint tax {overhead_seconds * 1e3:.3f}ms "
+        f"({100 * overhead_fraction:.4f}% of the drain)"
+    )
+    # The acceptance bound; the measured tax is orders of magnitude below.
+    assert overhead_fraction <= 0.05
+
+
 def test_queue_primitive_throughput(benchmark, tmp_path):
     """Microbenchmark of the per-run coordination cycle: claim -> done-marker
     -> is_done, on a fresh fingerprint each round."""

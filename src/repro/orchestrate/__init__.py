@@ -20,6 +20,10 @@ paper's IM-RP runtime, applied to the reproduction's own campaign sweeps.
   ``finalize``, which merges the per-worker stores into one canonical,
   fingerprint-sorted store feeding
   :func:`repro.analysis.comparison.protocol_matrix_from_store`.
+* :mod:`repro.orchestrate.chaos` — the soak harness
+  (``python -m repro.orchestrate chaos``): a real multi-worker sweep under a
+  seeded :class:`~repro.faults.FaultPlan` plus adversary SIGKILLs, verified
+  byte-for-byte against a clean serial run.
 
 Determinism contract, extended to distributed execution: for a fixed sweep
 the finalized store's science bytes are independent of worker count, claim
@@ -27,22 +31,32 @@ interleaving and steal history, and (timing stripped) byte-identical to a
 canonicalised serial ``CampaignSuite.run(store=...)`` store.
 """
 
+from repro.orchestrate.chaos import ChaosReport, run_chaos
 from repro.orchestrate.coordinator import finalize_queue, queue_progress
 from repro.orchestrate.lease import (
     ClaimLease,
     Heartbeat,
+    HeartbeatError,
     read_lease,
     release_claim,
     try_claim,
     try_steal,
 )
 from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
-from repro.orchestrate.worker import WorkerOutcome, default_worker_id, run_worker
+from repro.orchestrate.worker import (
+    RunTimeout,
+    WorkerOutcome,
+    default_worker_id,
+    run_worker,
+)
 
 __all__ = [
+    "ChaosReport",
     "ClaimLease",
     "Heartbeat",
+    "HeartbeatError",
     "QueueEntry",
+    "RunTimeout",
     "WorkQueue",
     "WorkerOutcome",
     "default_worker_id",
@@ -50,6 +64,7 @@ __all__ = [
     "queue_progress",
     "read_lease",
     "release_claim",
+    "run_chaos",
     "run_worker",
     "try_claim",
     "try_steal",

@@ -34,8 +34,10 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.progress import format_queue_progress
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.cli import add_sweep_arguments, positive_int, sweep_from_args
+from repro.faults import FAULT_KINDS, ForcedFault
+from repro.orchestrate.chaos import run_chaos
 from repro.orchestrate.coordinator import finalize_queue, queue_progress
 from repro.orchestrate.queue import QueueEntry, WorkQueue
 from repro.orchestrate.worker import (
@@ -46,6 +48,25 @@ from repro.orchestrate.worker import (
 )
 
 __all__ = ["build_parser", "main"]
+
+
+def _parse_rates(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``KIND=RATE`` flags into a fault-rate mapping."""
+    rates: dict = {}
+    for pair in pairs:
+        kind, separator, rate = pair.partition("=")
+        if not separator:
+            raise ConfigurationError(
+                f"fault rate must be KIND=RATE, got {pair!r} "
+                f"(kinds: {', '.join(FAULT_KINDS)})"
+            )
+        try:
+            rates[kind] = float(rate)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault rate for {kind!r} must be a number, got {rate!r}"
+            ) from None
+    return rates
 
 
 def _positive_float(text: str) -> float:
@@ -122,6 +143,12 @@ def build_parser() -> argparse.ArgumentParser:
         "failed/ marker and keeps draining",
     )
     worker.add_argument(
+        "--run-timeout", type=_positive_float, default=None, metavar="S",
+        help="per-run wall-clock watchdog: abandon an attempt still "
+        "executing after S seconds and count it against --max-attempts "
+        "(default: no watchdog)",
+    )
+    worker.add_argument(
         "--no-wait", action="store_true",
         help="exit when nothing is claimable instead of polling for "
         "stealable leases (for fixed-size fleets)",
@@ -160,6 +187,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="additional worker store written outside <queue>/stores/ "
         "(repeatable)",
     )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="soak a sweep under a seeded fault adversary and verify the "
+        "finalized store is byte-identical to a clean serial run",
+    )
+    chaos.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="fresh directory for the soak's queue and artifacts",
+    )
+    add_sweep_arguments(chaos)
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="adversary seed: fault schedule and kill victims derive from "
+        "it, so a failing soak replays (default: 0)",
+    )
+    chaos.add_argument(
+        "--workers", type=positive_int, default=2, metavar="N",
+        help="storm fleet size; dead workers are respawned (default: 2)",
+    )
+    chaos.add_argument(
+        "--kills", type=int, default=1, metavar="N",
+        help="adversary SIGKILL budget, delivered once work is underway "
+        "(default: 1)",
+    )
+    chaos.add_argument(
+        "--rate", action="append", default=[], metavar="KIND=RATE",
+        help="per-crossing fault probability, repeatable (kinds: "
+        f"{', '.join(FAULT_KINDS)}; default: a modest mixed schedule)",
+    )
+    chaos.add_argument(
+        "--force", action="append", default=[], metavar="SITE:AT:KIND",
+        help="guarantee KIND at the AT-th crossing of failpoint SITE, "
+        "repeatable (e.g. store.append:1:crash_after_write)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=positive_int, default=3, metavar="N",
+        help="storm workers' per-run retry budget; must be >= 2 (default: 3)",
+    )
+    chaos.add_argument(
+        "--lease", type=_positive_float, default=2.0, metavar="S",
+        help="storm lease seconds — short, so crash recovery happens within "
+        "the soak (default: 2)",
+    )
+    chaos.add_argument(
+        "--run-timeout", type=_positive_float, default=None, metavar="S",
+        help="per-run watchdog passed to the storm workers (default: none)",
+    )
+    chaos.add_argument(
+        "--storm-timeout", type=_positive_float, default=120.0, metavar="S",
+        help="wall-clock bound on the storm phase; the clean drain finishes "
+        "the rest (default: 120)",
+    )
+    chaos.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="finalized store path (default: <queue>/chaos-finalized.jsonl)",
+    )
     return parser
 
 
@@ -169,6 +253,7 @@ def _worker_log(event: str, entry: QueueEntry) -> None:
         "resume": "resumed from checkpoint",
         "retry": "retrying (attempt budget left)",
         "failed": "failed permanently (budget spent)",
+        "poison": "quarantined (crashed its workers repeatedly)",
         "done": "finished", "heal": "healed (marker republished)",
     }
     print(f"  {labels.get(event, event)}: {entry.spec.run_id}", flush=True)
@@ -196,6 +281,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 max_runs=args.max_runs,
                 max_attempts=args.max_attempts,
                 checkpoint_seconds=args.checkpoint_interval,
+                run_timeout=args.run_timeout,
                 wait=not args.no_wait,
                 on_progress=_worker_log,
             )
@@ -231,6 +317,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"({len(merged)} runs"
                 f"{', timing stripped' if args.strip_timing else ''})"
             )
+        elif args.command == "chaos":
+            report = run_chaos(
+                args.queue,
+                sweep_from_args(args),
+                seed=args.chaos_seed,
+                workers=args.workers,
+                kills=args.kills,
+                rates=_parse_rates(args.rate) or None,
+                force=[ForcedFault.parse(text) for text in args.force],
+                max_attempts=args.max_attempts,
+                lease_seconds=args.lease,
+                run_timeout=args.run_timeout,
+                storm_timeout=args.storm_timeout,
+                output=args.output,
+                log=print,
+            )
+            print(report.summary())
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -58,12 +58,19 @@ QUEUE_SCHEMA_VERSION = 1
 _WORKER_ID_RE = re.compile(r"^[A-Za-z0-9._-]+$")
 
 
-def atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+def atomic_write_json(
+    path: Path, payload: Dict[str, Any], *, failpoint_site: Optional[str] = None
+) -> None:
     """Write ``payload`` as JSON via the shared temp-file + ``os.replace``
     helper (:func:`repro.utils.serialization.atomic_write_text`): readers
     either see the previous content or the full new content, never a torn
-    file."""
-    atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
+    file.  ``failpoint_site`` names the caller's seam in the deterministic
+    fault-injection registry (:mod:`repro.faults`)."""
+    atomic_write_text(
+        path,
+        json.dumps(payload, sort_keys=True) + "\n",
+        failpoint_site=failpoint_site,
+    )
 
 
 def _read_json(path: Path) -> Optional[Dict[str, Any]]:
@@ -223,6 +230,7 @@ class WorkQueue:
                 "wall_seconds": wall_seconds,
                 "completed_at": time.time(),
             },
+            failpoint_site="queue.mark_done",
         )
 
     def done_record(self, fingerprint: str) -> Optional[Dict[str, Any]]:
@@ -248,6 +256,7 @@ class WorkQueue:
         run_id: str,
         error: str,
         attempts: int,
+        reason: str = "error",
     ) -> None:
         """Atomically record that a run exhausted its retry budget.
 
@@ -255,6 +264,12 @@ class WorkQueue:
         it and ``finalize`` *names* it instead of reporting an eternally
         undrained queue.  Deleting the marker (after fixing the cause) makes
         the run claimable again.
+
+        ``reason`` distinguishes *how* the budget died: ``"error"`` for
+        caught execution failures, ``"poison"`` for runs that crashed the
+        worker process itself ``max_attempts`` times (quarantined instead of
+        being re-stolen forever), ``"timeout"`` for runs abandoned by the
+        wall-clock watchdog.
         """
         atomic_write_json(
             self.failed_path(fingerprint),
@@ -264,8 +279,10 @@ class WorkQueue:
                 "worker": worker_id,
                 "error": error,
                 "attempts": attempts,
+                "reason": reason,
                 "failed_at": time.time(),
             },
+            failpoint_site="queue.mark_failed",
         )
 
     def failed_record(self, fingerprint: str) -> Optional[Dict[str, Any]]:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import socket
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -56,8 +57,9 @@ from repro.orchestrate.lease import (
 from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
 from repro.store.checkpoint import CheckpointStore
 from repro.store.runstore import RunStore
+from repro.utils.retrying import call_with_retries
 
-__all__ = ["WorkerOutcome", "default_worker_id", "run_worker"]
+__all__ = ["RunTimeout", "WorkerOutcome", "default_worker_id", "run_worker"]
 
 #: Seconds a claim may go without a heartbeat before peers may steal it.
 DEFAULT_LEASE_SECONDS = 30.0
@@ -79,6 +81,18 @@ def default_worker_id() -> str:
     return f"{host}-{os.getpid()}"
 
 
+class RunTimeout(OrchestrationError):
+    """A run exceeded the per-run wall-clock watchdog (``--run-timeout``)."""
+
+
+class _Abandoned(BaseException):
+    """Raised inside an abandoned attempt's cycle hook to stop the zombie.
+
+    Derives from :class:`BaseException` so campaign code catching broad
+    ``Exception`` (retry shims and the like) cannot swallow it.
+    """
+
+
 @dataclass
 class WorkerOutcome:
     """What one worker contributed to the sweep."""
@@ -94,6 +108,11 @@ class WorkerOutcome:
     resumed: List[Tuple[str, int]] = field(default_factory=list)
     #: Run ids that exhausted their retry budget (failed marker published).
     failed: List[str] = field(default_factory=list)
+    #: Run ids quarantined as poison: their claims had been crash-stolen
+    #: ``max_attempts`` times, so instead of executing (and presumably dying
+    #: too) this worker published a ``failed/`` marker with reason
+    #: ``poison``.  Also counted in :attr:`failed`.
+    poisoned: List[str] = field(default_factory=list)
     #: Fingerprints healed from this worker's own store (crash between
     #: append and done marker) without re-execution.
     healed: List[str] = field(default_factory=list)
@@ -114,6 +133,7 @@ def run_worker(
     max_runs: Optional[int] = None,
     max_attempts: int = 1,
     checkpoint_seconds: float = DEFAULT_CHECKPOINT_SECONDS,
+    run_timeout: Optional[float] = None,
     wait: bool = True,
     execute: Callable[..., Tuple[CampaignResult, float]] = execute_run,
     on_progress: Optional[Callable[[str, QueueEntry], None]] = None,
@@ -153,6 +173,14 @@ def run_worker(
         (``0`` = every cycle boundary).  The default keeps per-cycle
         checkpointing for realistic cycle times while bounding the
         serialisation overhead of very fast simulated runs.
+    run_timeout:
+        Per-run wall-clock watchdog (seconds).  An attempt still executing
+        after this long is *abandoned*: its claim is released so a peer can
+        take over immediately (instead of waiting out the lease on a hung
+        worker), the zombie attempt is fenced off from the store and the
+        checkpoint stream, and the timeout counts as an execution failure
+        against ``max_attempts`` (reason ``timeout`` when the budget dies).
+        ``None`` (default) disables the watchdog.
     wait:
         When False, return as soon as a full pass finds nothing claimable
         instead of polling until every run is done.
@@ -163,7 +191,7 @@ def run_worker(
     on_progress:
         Optional callback ``(event, entry)`` with events ``"claim"``,
         ``"steal"``, ``"resume"``, ``"retry"``, ``"done"``, ``"failed"``,
-        ``"heal"`` — the CLI's log line hook.
+        ``"poison"``, ``"heal"`` — the CLI's log line hook.
     """
     queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
     worker = validate_worker_id(worker_id or default_worker_id())
@@ -173,6 +201,8 @@ def run_worker(
         raise OrchestrationError("max_attempts must be >= 1")
     if checkpoint_seconds < 0:
         raise OrchestrationError("checkpoint_seconds must be >= 0")
+    if run_timeout is not None and run_timeout <= 0:
+        raise OrchestrationError("run_timeout must be > 0 (or None)")
     entries = queue.entries()
     store = RunStore(
         queue.worker_store_path(worker) if store_path is None else store_path
@@ -204,11 +234,13 @@ def run_worker(
                 # Our own earlier life appended this record but crashed
                 # before publishing the marker: publish it now, don't re-run.
                 stored = store.get(entry.fingerprint)
-                queue.mark_done(
-                    entry.fingerprint,
-                    worker_id=worker,
-                    run_id=entry.spec.run_id,
-                    wall_seconds=stored.wall_seconds,
+                call_with_retries(
+                    lambda: queue.mark_done(
+                        entry.fingerprint,
+                        worker_id=worker,
+                        run_id=entry.spec.run_id,
+                        wall_seconds=stored.wall_seconds,
+                    )
                 )
                 checkpoints.discard(entry.fingerprint)
                 outcome.healed.append(entry.fingerprint)
@@ -216,23 +248,58 @@ def run_worker(
                 continue
             pending += 1
             claim = queue.claim_path(entry.fingerprint)
-            prior = read_lease(claim)
-            if try_claim(claim, worker):
-                stolen = False
-                attempt = 1
-            elif try_steal(claim, worker, lease_seconds):
-                stolen = True
-                # Inherit the victim's position in the retry budget (torn or
-                # vanished claims read as attempt 1).
-                attempt = prior.attempt if prior is not None else 1
-            else:
-                continue  # held by a live peer
+            try:
+                prior = read_lease(claim)
+                if try_claim(claim, worker):
+                    stolen = False
+                    attempt = 1
+                    crashes = 0
+                elif try_steal(claim, worker, lease_seconds):
+                    stolen = True
+                    # Inherit the victim's position in the retry budget (torn
+                    # or vanished claims read as attempt 1); the steal itself
+                    # recorded one more crash incarnation in the claim.
+                    attempt = prior.attempt if prior is not None else 1
+                    crashes = (prior.crashes if prior is not None else 0) + 1
+                else:
+                    continue  # held by a live peer
+            except OSError:
+                # A transient filesystem refusal while *probing* a claim must
+                # not kill the worker — skip the entry this pass; the next
+                # pass (or a peer) retries.
+                continue
             claimed_any = True
+            if stolen and max_attempts > 1 and crashes >= max_attempts:
+                # Poison quarantine: every incarnation that executed this run
+                # died (or stalled past its lease) without a *caught* failure
+                # — a run that SIGKILLs its workers would otherwise be
+                # re-stolen forever.  Only an explicit retry budget opts in:
+                # the default budget of 1 keeps unlimited crash stealing (the
+                # original recovery contract, where a single dead worker must
+                # not condemn its run).
+                call_with_retries(
+                    lambda: queue.mark_failed(
+                        entry.fingerprint,
+                        worker_id=worker,
+                        run_id=entry.spec.run_id,
+                        error=(
+                            f"poison: {crashes} worker incarnation(s) crashed "
+                            "or stalled executing this run"
+                        ),
+                        attempts=attempt,
+                        reason="poison",
+                    )
+                )
+                release_claim(claim, worker)
+                outcome.failed.append(entry.spec.run_id)
+                outcome.poisoned.append(entry.spec.run_id)
+                notify("poison", entry)
+                continue
             notify("steal" if stolen else "claim", entry)
             if _execute_with_budget(
-                queue, entry, claim, worker, attempt, max_attempts,
-                lease_seconds, checkpoint_seconds, execute, store,
-                checkpoints, outcome, notify,
+                queue, entry, claim, worker, attempt, crashes, max_attempts,
+                lease_seconds, checkpoint_seconds, run_timeout, execute,
+                store, checkpoints, outcome, notify,
             ):
                 outcome.executed.append(entry.spec.run_id)
                 if stolen:
@@ -268,15 +335,68 @@ def _load_resume_state(
         ) from error
 
 
+def _run_attempt(
+    execute: Callable[..., Tuple[CampaignResult, float]],
+    entry: QueueEntry,
+    resume: Optional[CampaignState],
+    on_cycle: Callable[[CampaignState], None],
+    run_timeout: Optional[float],
+) -> Tuple[CampaignResult, float]:
+    """One execution attempt, optionally under the wall-clock watchdog.
+
+    With a timeout, the attempt runs in a daemon thread the caller joins
+    with a deadline.  On expiry the thread is *abandoned*, not killed
+    (Python cannot kill threads): an ``abandoned`` flag is raised and the
+    zombie's next cycle boundary turns into :class:`_Abandoned`, fencing it
+    off from checkpoints — and, because store appends and markers happen in
+    the caller's thread only after a successful join, from the store too.
+    """
+    if run_timeout is None:
+        return execute(entry.spec, resume_state=resume, on_cycle=on_cycle)
+
+    abandoned = threading.Event()
+    box: dict = {}
+
+    def guarded_on_cycle(state: CampaignState) -> None:
+        if abandoned.is_set():
+            raise _Abandoned()
+        on_cycle(state)
+
+    def target() -> None:
+        try:
+            box["result"] = execute(
+                entry.spec, resume_state=resume, on_cycle=guarded_on_cycle
+            )
+        except _Abandoned:
+            pass  # the fenced zombie winding down; nobody is listening
+        except BaseException as error:  # noqa: BLE001 - re-raised by caller
+            box["error"] = error
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(run_timeout)
+    if thread.is_alive():
+        abandoned.set()
+        raise RunTimeout(
+            f"run {entry.spec.run_id!r} exceeded the {run_timeout:g}s "
+            "wall-clock watchdog"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
 def _execute_with_budget(
     queue: WorkQueue,
     entry: QueueEntry,
     claim: Path,
     worker: str,
     attempt: int,
+    crashes: int,
     max_attempts: int,
     lease_seconds: float,
     checkpoint_seconds: float,
+    run_timeout: Optional[float],
     execute: Callable[..., Tuple[CampaignResult, float]],
     store: RunStore,
     checkpoints: CheckpointStore,
@@ -291,21 +411,31 @@ def _execute_with_budget(
     """
 
     last_save = float("-inf")
+    heartbeat: Optional[Heartbeat] = None
 
     def on_cycle(state: CampaignState) -> None:
         nonlocal last_save
+        # A dead heartbeat means the lease is going stale under us: abort at
+        # the cycle boundary, before a peer steals the claim and doubles the
+        # remaining cycles — the checkpoint just saved makes the abort cheap.
+        if heartbeat is not None:
+            heartbeat.check()
         now = time.monotonic()
         if now - last_save < checkpoint_seconds:
             return
         try:
-            checkpoints.save(
-                entry.fingerprint, state, run_id=entry.spec.run_id, worker=worker
+            call_with_retries(
+                lambda: checkpoints.save(
+                    entry.fingerprint, state,
+                    run_id=entry.spec.run_id, worker=worker,
+                )
             )
         except OSError:
             # Checkpoints accelerate recovery, they do not gate correctness:
-            # a save that fails (queue-FS hiccup, ENOSPC) must not abort —
-            # let alone permanently fail — a healthy run.  Skip this cycle's
-            # checkpoint and keep executing; the next save retries.
+            # a save that fails persistently (queue-FS outage, ENOSPC) must
+            # not abort — let alone permanently fail — a healthy run.  Skip
+            # this cycle's checkpoint and keep executing; the next save
+            # starts a fresh retry budget.
             return
         last_save = now
 
@@ -315,48 +445,61 @@ def _execute_with_budget(
             outcome.resumed.append((entry.spec.run_id, resume.cycle))
             notify("resume", entry)
         try:
-            with Heartbeat(claim, worker, lease_seconds, attempt=attempt):
-                result, seconds = execute(
-                    entry.spec, resume_state=resume, on_cycle=on_cycle
+            with Heartbeat(
+                claim, worker, lease_seconds, attempt=attempt, crashes=crashes
+            ) as heartbeat:
+                result, seconds = _run_attempt(
+                    execute, entry, resume, on_cycle, run_timeout
                 )
-            # Store/marker failures (full disk, queue-FS hiccup) release
-            # the claim like execution failures, so a peer retries
-            # immediately instead of waiting out the lease.
+            # Store/marker failures (full disk, queue-FS hiccup) are retried
+            # with backoff; if they persist the claim is released like an
+            # execution failure, so a peer retries immediately instead of
+            # waiting out the lease.
             record = SuiteRunRecord(
                 spec=entry.spec, result=result, wall_seconds=seconds
             )
-            store.append(record, fingerprint=entry.fingerprint)
-            queue.mark_done(
-                entry.fingerprint,
-                worker_id=worker,
-                run_id=entry.spec.run_id,
-                wall_seconds=seconds,
+            call_with_retries(
+                lambda: store.append(record, fingerprint=entry.fingerprint)
+            )
+            call_with_retries(
+                lambda: queue.mark_done(
+                    entry.fingerprint,
+                    worker_id=worker,
+                    run_id=entry.spec.run_id,
+                    wall_seconds=seconds,
+                )
             )
             checkpoints.discard(entry.fingerprint)
             return True
         except Exception as error:
+            heartbeat = None
             if attempt < max_attempts:
                 attempt += 1
-                refresh_lease(claim, worker, time.time(), attempt)
+                refresh_lease(claim, worker, time.time(), attempt, crashes)
                 notify("retry", entry)
                 continue
             if max_attempts == 1:
                 # The original contract: release and fail fast.
-                release_claim(claim)
+                release_claim(claim, worker)
                 raise OrchestrationError(
                     f"worker {worker}: run {entry.spec.run_id!r} failed: {error}"
                 ) from error
             # Budget spent: terminate the run for drain purposes and move
             # on.  The checkpoints are kept — after the cause is fixed,
             # deleting the failed marker resumes at the last good cycle.
-            queue.mark_failed(
-                entry.fingerprint,
-                worker_id=worker,
-                run_id=entry.spec.run_id,
-                error=f"{type(error).__name__}: {error}",
-                attempts=attempt,
+            call_with_retries(
+                lambda: queue.mark_failed(
+                    entry.fingerprint,
+                    worker_id=worker,
+                    run_id=entry.spec.run_id,
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=attempt,
+                    reason=(
+                        "timeout" if isinstance(error, RunTimeout) else "error"
+                    ),
+                )
             )
-            release_claim(claim)
+            release_claim(claim, worker)
             outcome.failed.append(entry.spec.run_id)
             notify("failed", entry)
             return False

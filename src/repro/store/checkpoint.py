@@ -132,8 +132,13 @@ class CheckpointStore:
         # gate correctness — a checkpoint lost to a power cut only costs
         # re-execution, while an fsync per cycle would dominate the runtime
         # of short campaigns.  os.replace still guarantees readers see the
-        # old or the new ladder, never a torn file.
-        atomic_write_text(path, "\n".join(lines) + "\n", fsync=False)
+        # old or the new ladder, never a torn file.  The write is the
+        # ``checkpoint.save`` failpoint: an injected tear loses at most the
+        # newest line(s), which the previous-cycle fallback absorbs.
+        atomic_write_text(
+            path, "\n".join(lines) + "\n", fsync=False,
+            failpoint_site="checkpoint.save",
+        )
         return path
 
     def discard(self, fingerprint: str) -> None:

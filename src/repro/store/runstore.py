@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.core.results import net_deltas_from_summary
 from repro.exceptions import StoreError
 from repro.experiments.spec import RunSpec
@@ -316,8 +317,18 @@ class RunStore:
         never corrupt an earlier one.  (Flush-to-OS, not fsync: a process
         crash loses nothing, and skipping the per-run fsync keeps streaming
         overhead negligible on the suite's hot path.)
+
+        The write is the ``store.append`` failpoint (:mod:`repro.faults`):
+        an injected ``torn_write`` persists a prefix of the line and raises
+        — recorded as a truncated tail, so a same-process retry (or the next
+        open's torn-tail scan) overwrites it exactly as a real crash would
+        be healed; ``crash_after_write`` kills the process after the line
+        landed, exercising the append-without-marker heal window.
         """
         fingerprint = fingerprint or self.fingerprint(record.spec)
+        event = faults.failpoint("store.append")
+        if event is not None and event.kind in ("io_error", "enospc"):
+            faults.raise_error(event)
         payload = {
             "schema_version": STORE_SCHEMA_VERSION,
             "fingerprint": fingerprint,
@@ -337,9 +348,19 @@ class RunStore:
             else:
                 handle.seek(0, os.SEEK_END)
             offset = handle.tell()
-            handle.write(line.encode("utf-8"))
+            data = line.encode("utf-8")
+            if event is not None and event.kind == "torn_write":
+                handle.write(data[: max(1, len(data) // 2)])
+                handle.flush()
+                # The torn bytes are a crash-shaped tail: the next append
+                # (retry or a fresh open) truncates and overwrites them.
+                self._truncate_to = offset
+                faults.raise_error(event)
+            handle.write(data)
             handle.flush()
         self._index[fingerprint] = offset
+        if event is not None and event.kind == "crash_after_write":
+            faults.crash(event)
         return fingerprint
 
     # -- conversions ---------------------------------------------------------- #

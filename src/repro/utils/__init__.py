@@ -10,6 +10,7 @@ from repro.utils.stats import (
 )
 from repro.utils.timer import Stopwatch
 from repro.utils.logging import EventLog, LogRecord, get_logger
+from repro.utils.retrying import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retries
 from repro.utils.serialization import to_jsonable, dump_json, load_json
 
 __all__ = [
@@ -22,6 +23,9 @@ __all__ = [
     "net_delta_percent",
     "summarize",
     "Stopwatch",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+    "call_with_retries",
     "EventLog",
     "LogRecord",
     "get_logger",

@@ -13,15 +13,18 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 import numpy as np
+
+from repro import faults
 
 __all__ = ["atomic_write_text", "to_jsonable", "dump_json", "load_json"]
 
 
 def atomic_write_text(
-    path: Union[str, Path], text: str, *, fsync: bool = True
+    path: Union[str, Path], text: str, *, fsync: bool = True,
+    failpoint_site: Optional[str] = None,
 ) -> None:
     """Write ``text`` to ``path`` via a temp file + ``os.replace``.
 
@@ -29,25 +32,54 @@ def atomic_write_text(
     torn file — ``os.replace`` is atomic on POSIX and Windows.  The temp file
     name carries the pid *and* thread id so concurrent writers to one target
     (other processes, or worker threads sharing a process) cannot collide on
-    the temp path itself.  ``fsync=False`` skips the flush-to-disk barrier
-    for writes whose loss only costs recomputation (e.g. checkpoints).
+    the temp path itself; the name *ends* in ``.tmp-…`` (rather than the
+    target's own suffix) so a temp file stranded by a crash before the
+    rename can never satisfy a ``*.json``/``*.jsonl`` directory glob — the
+    work queue's marker listings and the checkpoint store's fingerprint scan
+    must not mistake staged bytes for published state.  ``fsync=False``
+    skips the flush-to-disk barrier for writes whose loss only costs
+    recomputation (e.g. checkpoints).
+
+    ``failpoint_site`` names this write's seam in the deterministic
+    fault-injection registry (:mod:`repro.faults`): durability-critical
+    callers pass their site so a chaos plan can tear this write, fail it
+    with ``EIO``/``ENOSPC``, stall it, or kill the process on either side of
+    the commit point.  ``None`` (the default) skips injection entirely.
 
     The single definition of the write-temp-then-replace pattern used by the
     work queue's coordination files, the checkpoint store and the store
     migrator.
     """
     path = Path(path)
+    event = faults.failpoint(failpoint_site) if failpoint_site else None
+    if event is not None:
+        if event.kind in ("io_error", "enospc"):
+            faults.raise_error(event)
+        if event.kind == "torn_write":
+            # A non-atomic filesystem tearing the write in place: a prefix
+            # of the payload lands at the *final* path, then the write
+            # fails.  Readers must degrade (mtime leases, torn-tail skips).
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w", encoding="utf-8", newline="\n") as handle:
+                handle.write(text[: max(1, len(text) // 2)])
+                handle.flush()
+            faults.raise_error(event)
     path.parent.mkdir(parents=True, exist_ok=True)
     temp = (
         path.parent
-        / f".tmp-{os.getpid()}-{threading.get_ident()}-{path.name}"
+        / f".{path.name}.tmp-{os.getpid()}-{threading.get_ident()}"
     )
     with temp.open("w", encoding="utf-8", newline="\n") as handle:
         handle.write(text)
         handle.flush()
         if fsync:
             os.fsync(handle.fileno())
+        if event is not None and event.kind == "crash_before_rename":
+            os.fsync(handle.fileno())
+            faults.crash(event)
     os.replace(temp, path)
+    if event is not None and event.kind == "crash_after_write":
+        faults.crash(event)
 
 
 def to_jsonable(obj: Any) -> Any:

@@ -18,6 +18,7 @@ from repro.orchestrate import (
     validate_worker_id,
 )
 from repro.orchestrate.lease import Heartbeat, refresh_lease
+from repro.orchestrate.queue import atomic_write_json
 from repro.experiments import SweepSpec, TargetSpec
 from repro.store import run_fingerprint
 
@@ -179,3 +180,236 @@ class TestDoneMarkers:
         assert record["run_id"] == entry.spec.run_id
         assert record["wall_seconds"] == 1.25
         assert queue.done_fingerprints() == [entry.fingerprint]
+
+
+class TestOwnerCheckedRelease:
+    """release_claim returns whether *this* process won the release, and
+    declines to destroy a claim a stealer now owns."""
+
+    def test_owner_release_wins(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        assert release_claim(path, "w0") is True
+        assert read_lease(path) is None
+
+    def test_release_declines_a_stolen_claim(self, queue):
+        """Our heartbeat stalled, a peer stole the lease: unlinking now
+        would destroy *their* live claim."""
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        stale = time.time() - 3600.0
+        atomic_write_json(
+            path,
+            {"worker": "w0", "claimed_at": stale, "heartbeat_at": stale},
+        )
+        assert try_steal(path, "thief", lease_seconds=30.0) is True
+        assert release_claim(path, "w0") is False
+        assert read_lease(path).worker == "thief"
+
+    def test_release_of_vanished_claim_is_a_lost_race(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        assert release_claim(path, "w0") is False
+        try_claim(path, "w0")
+        release_claim(path)
+        assert release_claim(path, "w0") is False
+
+    def test_unowned_release_keeps_the_old_contract(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        assert release_claim(path) is True
+
+    def test_torn_claim_is_releasable_by_anyone(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"worker": "w9", "cl')  # torn: owner unknowable
+        assert release_claim(path, "w0") is True
+        assert read_lease(path) is None
+
+
+class TestGarbageClaimFiles:
+    """read_lease must degrade every unreadable shape to an mtime lease —
+    never crash, never trust garbage beyond its timestamp."""
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not json at all",
+            '["a", "json", "list"]',
+            '"just a string"',
+            "42",
+            '{"worker": "w0"}',  # structurally incomplete
+            '{"worker": "w0", "claimed_at": "yesterday", "heartbeat_at": 1}',
+        ],
+    )
+    def test_garbage_degrades_to_a_torn_mtime_lease(self, queue, content):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        lease = read_lease(path)
+        assert lease is not None and lease.torn
+        assert lease.worker == "<unreadable>"
+        assert lease.attempt == 1 and lease.crashes == 0
+        # Fresh mtime: not stealable yet; stale mtime: stealable.
+        assert not lease.expired(lease_seconds=60.0)
+
+    def test_crash_counter_rides_the_claim_and_steals_increment_it(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        assert try_claim(path, "w0", attempt=2, crashes=1) is True
+        lease = read_lease(path)
+        assert lease.attempt == 2 and lease.crashes == 1
+        stale = time.time() - 3600.0
+        atomic_write_json(
+            path,
+            {
+                "worker": "w0", "claimed_at": stale, "heartbeat_at": stale,
+                "attempt": 2, "crashes": 1,
+            },
+        )
+        assert try_steal(path, "w1", lease_seconds=30.0) is True
+        stolen = read_lease(path)
+        # The steal inherits the attempt but records one more dead
+        # incarnation.
+        assert stolen.attempt == 2 and stolen.crashes == 2
+
+    def test_pre_crash_schema_claims_read_as_zero_crashes(self, queue):
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"worker": "w0", "claimed_at": 1.0, "heartbeat_at": 1.0}
+            )
+        )
+        lease = read_lease(path)
+        assert not lease.torn and lease.crashes == 0 and lease.attempt == 1
+
+
+class TestFailedMarkers:
+    def test_mark_failed_round_trips_with_reason(self, queue):
+        entry = queue.entries()[0]
+        assert not queue.is_failed(entry.fingerprint)
+        queue.mark_failed(
+            entry.fingerprint,
+            worker_id="w0",
+            run_id=entry.spec.run_id,
+            error="RuntimeError: boom",
+            attempts=3,
+            reason="poison",
+        )
+        assert queue.is_failed(entry.fingerprint)
+        record = queue.failed_record(entry.fingerprint)
+        assert record["worker"] == "w0"
+        assert record["run_id"] == entry.spec.run_id
+        assert record["error"] == "RuntimeError: boom"
+        assert record["attempts"] == 3
+        assert record["reason"] == "poison"
+        assert record["failed_at"] <= time.time()
+
+    def test_reason_defaults_to_error(self, queue):
+        entry = queue.entries()[0]
+        queue.mark_failed(
+            entry.fingerprint, worker_id="w0", run_id=entry.spec.run_id,
+            error="x", attempts=1,
+        )
+        assert queue.failed_record(entry.fingerprint)["reason"] == "error"
+
+    def test_failed_fingerprints_lists_only_real_markers(self, queue):
+        entries = queue.entries()
+        for entry in entries[:2]:
+            queue.mark_failed(
+                entry.fingerprint, worker_id="w0", run_id=entry.spec.run_id,
+                error="x", attempts=1,
+            )
+        # A stranded atomic-write temp must not read as a failed run.
+        (queue.failed_dir / ".ghost.json.tmp-1-2").write_text("{}")
+        assert queue.failed_fingerprints() == sorted(
+            entry.fingerprint for entry in entries[:2]
+        )
+
+    def test_missing_and_torn_failed_records_read_as_none(self, queue):
+        entry = queue.entries()[0]
+        assert queue.failed_record(entry.fingerprint) is None
+        queue.failed_dir.mkdir(parents=True, exist_ok=True)
+        queue.failed_path(entry.fingerprint).write_text('{"torn')
+        assert queue.failed_record(entry.fingerprint) is None
+
+
+class TestHeartbeatFailureSurfacing:
+    """A heartbeat that cannot keep its lease fresh must fail loudly, not
+    let the claim rot stale under a live worker."""
+
+    def _refusing_plan(self):
+        from repro.faults import FaultPlan
+
+        return FaultPlan(0, rates={"io_error": 1.0})
+
+    def test_exhausted_refreshes_surface_at_exit(self, queue):
+        from repro import faults
+        from repro.orchestrate import HeartbeatError
+        from repro.utils.retrying import RetryPolicy
+
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        policy = RetryPolicy(attempts=2, base_delay=0.001, jitter=0.0)
+        with faults.injected_plan(self._refusing_plan()):
+            with pytest.raises(HeartbeatError, match="stopped"):
+                with Heartbeat(
+                    path, "w0", lease_seconds=0.2, retry_policy=policy
+                ) as heartbeat:
+                    deadline = time.time() + 5.0
+                    while not heartbeat.failed and time.time() < deadline:
+                        time.sleep(0.02)
+                    assert heartbeat.failed
+
+    def test_check_raises_before_exit(self, queue):
+        from repro import faults
+        from repro.orchestrate import HeartbeatError
+        from repro.utils.retrying import RetryPolicy
+
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        policy = RetryPolicy(attempts=2, base_delay=0.001, jitter=0.0)
+        with faults.injected_plan(self._refusing_plan()):
+            heartbeat = Heartbeat(
+                path, "w0", lease_seconds=0.2, retry_policy=policy
+            )
+            heartbeat.__enter__()
+            try:
+                deadline = time.time() + 5.0
+                while not heartbeat.failed and time.time() < deadline:
+                    time.sleep(0.02)
+                with pytest.raises(HeartbeatError, match="w0"):
+                    heartbeat.check()
+            finally:
+                with pytest.raises(HeartbeatError):
+                    heartbeat.__exit__(None, None, None)
+
+    def test_transient_refresh_failures_are_absorbed(self, queue):
+        """A refresh that fails once then heals never surfaces: the retry
+        policy absorbs the transient class in place."""
+        from repro import faults
+        from repro.faults import FaultPlan, ForcedFault
+
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        plan = FaultPlan(
+            0, force=[ForcedFault("lease.refresh", 1, "io_error")]
+        )
+        with faults.injected_plan(plan):
+            with Heartbeat(path, "w0", lease_seconds=0.2) as heartbeat:
+                time.sleep(0.5)  # several beats, the first one injected
+                assert not heartbeat.failed
+        assert read_lease(path).worker == "w0"
+
+    def test_run_body_exception_is_not_masked_by_a_dead_heartbeat(self, queue):
+        from repro import faults
+        from repro.utils.retrying import RetryPolicy
+
+        path = queue.claim_path(queue.entries()[0].fingerprint)
+        try_claim(path, "w0")
+        policy = RetryPolicy(attempts=2, base_delay=0.001, jitter=0.0)
+        with faults.injected_plan(self._refusing_plan()):
+            with pytest.raises(RuntimeError, match="the real failure"):
+                with Heartbeat(
+                    path, "w0", lease_seconds=0.2, retry_policy=policy
+                ):
+                    time.sleep(0.3)
+                    raise RuntimeError("the real failure")

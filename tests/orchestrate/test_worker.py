@@ -8,6 +8,7 @@ import json
 import signal
 import subprocess
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -547,3 +548,138 @@ class TestDistributedDeterminism:
         )
         reference = self._serial_reference(tmp_path)
         assert finalized.path.read_bytes() == reference.path.read_bytes()
+
+
+class TestRunTimeout:
+    """``run_timeout``: the per-run wall-clock watchdog."""
+
+    def _hang(self, run_id, seconds=10.0):
+        def execute(spec, *, resume_state=None, on_cycle=None):
+            if spec.run_id == run_id:
+                time.sleep(seconds)
+            return FakeResult(spec), 0.01
+
+        return execute
+
+    def test_timeout_counts_against_the_budget(self, queue):
+        """A hung run is abandoned, retried, then failed with reason
+        ``timeout`` — and the rest of the sweep still drains."""
+        entry = queue.entries()[0]
+        outcome = run_worker(
+            queue, worker_id="w0",
+            execute=self._hang(entry.spec.run_id),
+            max_attempts=2, run_timeout=0.2,
+        )
+        assert outcome.failed == [entry.spec.run_id]
+        assert outcome.n_executed == 3
+        record = queue.failed_record(entry.fingerprint)
+        assert record["reason"] == "timeout"
+        assert "watchdog" in record["error"]
+        # Claim released: a peer (or a marker-deleting retry) takes over
+        # immediately instead of waiting out the hung worker's lease.
+        assert read_lease(queue.claim_path(entry.fingerprint)) is None
+
+    def test_timeout_with_default_budget_fails_fast(self, queue):
+        entry = queue.entries()[0]
+        with pytest.raises(OrchestrationError, match="watchdog"):
+            run_worker(
+                queue, worker_id="w0",
+                execute=self._hang(entry.spec.run_id), run_timeout=0.2,
+            )
+        assert read_lease(queue.claim_path(entry.fingerprint)) is None
+
+    def test_fast_runs_are_untouched_by_the_watchdog(self, queue):
+        outcome = run_worker(
+            queue, worker_id="w0", execute=fake_execute(), run_timeout=30.0
+        )
+        assert outcome.n_executed == 4 and outcome.failed == []
+
+    def test_abandoned_zombie_is_fenced_at_its_next_cycle(self, queue):
+        """The abandoned attempt's thread stops at its next cycle boundary
+        instead of checkpointing (or appending) behind the worker's back."""
+        from repro.core.protocols import CampaignState
+
+        entry = queue.entries()[0]
+        zombie_stopped = threading.Event()
+
+        def looping(spec, *, resume_state=None, on_cycle=None):
+            if spec.run_id != entry.spec.run_id:
+                return FakeResult(spec), 0.01
+            cycle = 0
+            try:
+                while True:
+                    cycle += 1
+                    on_cycle(
+                        CampaignState(spec.protocol, seed=spec.seed, cycle=cycle)
+                    )
+                    time.sleep(0.02)
+            except BaseException:
+                zombie_stopped.set()
+                raise
+
+        outcome = run_worker(
+            queue, worker_id="w0", execute=looping,
+            max_attempts=2, run_timeout=0.3,
+            checkpoint_seconds=3600.0,  # the zombie must not even get here
+        )
+        assert outcome.failed == [entry.spec.run_id]
+        assert zombie_stopped.wait(2.0)
+
+    def test_run_timeout_must_be_positive(self, queue):
+        with pytest.raises(OrchestrationError, match="run_timeout"):
+            run_worker(queue, worker_id="w0", run_timeout=0.0)
+
+
+class TestPoisonQuarantine:
+    """Runs that kill their workers repeatedly are quarantined, not
+    re-stolen forever — but only when an explicit retry budget opts in."""
+
+    def _crashed_claim(self, queue, fingerprint, crashes):
+        stale = time.time() - 3600.0
+        atomic_write_json(
+            queue.claim_path(fingerprint),
+            {
+                "worker": "dead", "claimed_at": stale, "heartbeat_at": stale,
+                "attempt": 1, "crashes": crashes,
+            },
+        )
+
+    def test_crash_budget_spent_quarantines_without_executing(self, queue):
+        entry = queue.entries()[0]
+        # One incarnation already died; this steal records the second.
+        self._crashed_claim(queue, entry.fingerprint, crashes=1)
+        calls = []
+        outcome = run_worker(
+            queue, worker_id="w1", execute=fake_execute(calls),
+            lease_seconds=0.5, max_attempts=2,
+        )
+        assert outcome.poisoned == [entry.spec.run_id]
+        assert outcome.failed == [entry.spec.run_id]
+        assert entry.spec.run_id not in calls  # quarantined, not re-run
+        assert outcome.n_executed == 3
+        record = queue.failed_record(entry.fingerprint)
+        assert record["reason"] == "poison"
+        assert read_lease(queue.claim_path(entry.fingerprint)) is None
+
+    def test_first_crash_is_still_stolen_and_executed(self, queue):
+        entry = queue.entries()[0]
+        self._crashed_claim(queue, entry.fingerprint, crashes=0)
+        outcome = run_worker(
+            queue, worker_id="w1", execute=fake_execute(),
+            lease_seconds=0.5, max_attempts=2,
+        )
+        assert outcome.poisoned == []
+        assert entry.spec.run_id in outcome.stolen
+        assert outcome.n_executed == 4
+
+    def test_default_budget_keeps_unlimited_crash_stealing(self, queue):
+        """max_attempts=1 (the original contract): a run is never condemned
+        for crashing its workers, however often."""
+        entry = queue.entries()[0]
+        self._crashed_claim(queue, entry.fingerprint, crashes=99)
+        outcome = run_worker(
+            queue, worker_id="w1", execute=fake_execute(), lease_seconds=0.5
+        )
+        assert outcome.poisoned == []
+        assert entry.spec.run_id in outcome.stolen
+        assert outcome.n_executed == 4
