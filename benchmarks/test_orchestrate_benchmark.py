@@ -177,6 +177,65 @@ def test_disabled_failpoints_overhead_bounded(tmp_path):
     assert overhead_fraction <= 0.05
 
 
+def test_disabled_telemetry_overhead_bounded(tmp_path):
+    """Telemetry sits on the same seams as the failpoints (every append,
+    heartbeat, checkpoint, publish) plus the worker loop itself, so its
+    *disabled* cost rides every untraced run.  Bound it the same way:
+    per-call cost of a disabled crossing x the crossing count of a real
+    drain must stay within 5% of that drain's wall time."""
+    from repro import telemetry
+
+    telemetry.disable()
+    calls = 100_000
+    telemetry.event("store.append", store="s", run="r", bytes=512)  # warm
+    with telemetry.span("worker.run", run="r"):
+        pass
+    start = time.perf_counter()
+    for _ in range(calls):
+        telemetry.event("store.append", store="s", run="r", bytes=512)
+        with telemetry.span("worker.run", run="r"):
+            pass
+    # Each loop iteration is two crossings (one event, one span).
+    per_call_seconds = (time.perf_counter() - start) / (2 * calls)
+
+    # An untraced drain for the wall-clock baseline...
+    queue = WorkQueue.create(tmp_path / "queue", UNEVEN_SWEEP)
+    start = time.perf_counter()
+    outcome = run_worker(queue, worker_id="bench-tel")
+    drain_seconds = time.perf_counter() - start
+    assert outcome.n_executed == 8
+
+    # ...and a traced drain of the same sweep to count the crossings an
+    # enabled stream actually records.
+    traced_queue = WorkQueue.create(tmp_path / "traced", UNEVEN_SWEEP)
+    with telemetry.scoped(traced_queue.path / "telemetry", "bench-tel"):
+        traced = run_worker(traced_queue, worker_id="bench-tel")
+    assert traced.n_executed == 8
+    crossings = len(
+        telemetry.read_telemetry_dir(traced_queue.path / "telemetry")
+    )
+    assert crossings >= 4 * traced.n_executed  # run+execute+publish+append, min
+
+    overhead_seconds = per_call_seconds * crossings
+    overhead_fraction = overhead_seconds / drain_seconds
+
+    print_banner(
+        "Telemetry — disabled-tracing tax on the single-worker drain"
+    )
+    print(
+        f"disabled crossing: {per_call_seconds * 1e9:.0f}ns/call; "
+        f"a traced drain of 8 runs records {crossings} crossings; "
+        f"untraced drain {drain_seconds:.2f}s"
+    )
+    print(
+        f"total telemetry tax {overhead_seconds * 1e3:.3f}ms "
+        f"({100 * overhead_fraction:.4f}% of the drain)"
+    )
+    # The acceptance bound; the measured tax is orders of magnitude below.
+    assert overhead_fraction <= 0.05
+    telemetry.reset()
+
+
 def test_queue_primitive_throughput(benchmark, tmp_path):
     """Microbenchmark of the per-run coordination cycle: claim -> done-marker
     -> is_done, on a fresh fingerprint each round."""

@@ -12,6 +12,9 @@ paper reports:
   by the examples and the benchmark harness.
 * :mod:`repro.analysis.progress` — sweep progress/throughput snapshots for
   orchestrated (multi-worker) campaigns.
+* :mod:`repro.analysis.timeline` — per-worker span timelines, fleet
+  utilization and straggler summaries reconstructed from the telemetry
+  streams of *real* (non-simulated) multi-worker sweeps.
 """
 
 from repro.analysis.utilization import UtilizationReport, utilization_report
@@ -23,6 +26,14 @@ from repro.analysis.comparison import (
     table1,
 )
 from repro.analysis.progress import QueueProgress, RunInFlight, format_queue_progress
+from repro.analysis.timeline import (
+    FleetTimeline,
+    TimelineEvent,
+    TimelineSpan,
+    WorkerTimeline,
+    fleet_timeline,
+    format_fleet_timeline,
+)
 from repro.analysis.reporting import (
     format_iteration_table,
     format_protocol_matrix,
@@ -43,6 +54,12 @@ __all__ = [
     "QueueProgress",
     "RunInFlight",
     "format_queue_progress",
+    "FleetTimeline",
+    "WorkerTimeline",
+    "TimelineSpan",
+    "TimelineEvent",
+    "fleet_timeline",
+    "format_fleet_timeline",
     "format_protocol_matrix",
     "format_iteration_table",
     "format_table1",

@@ -76,6 +76,10 @@ class OrchestrationError(ReproError):
     """A work queue is missing, inconsistent or cannot be finalized."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry stream is unreadable by design (incompatible schema)."""
+
+
 class ProteinError(ReproError):
     """Base class for protein-substrate errors."""
 

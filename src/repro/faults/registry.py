@@ -35,7 +35,6 @@ store append) is mapped to the nearest honest behaviour or never drawn.
 from __future__ import annotations
 
 import errno
-import json
 import os
 import signal
 import time
@@ -45,6 +44,8 @@ from typing import Dict, Iterator, Optional, Tuple
 from contextlib import contextmanager
 
 from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+from repro.telemetry import api as _telemetry
+from repro.telemetry.writer import TelemetryWriter
 
 __all__ = [
     "SITE_KINDS",
@@ -168,21 +169,36 @@ def crash(event: FaultEvent) -> None:
     os._exit(137)  # pragma: no cover
 
 
-def _log_event(plan: FaultPlan, event: FaultEvent) -> None:
-    """Best-effort JSONL observability of fired events (one file per pid).
+#: Fallback writers for processes without an active telemetry stream, keyed
+#: by ``(log_dir, pid)`` — the pid guards against writers inherited across a
+#: ``fork`` sharing a handle.
+_fallback_writers: Dict[Tuple[str, int], TelemetryWriter] = {}
 
-    Crash events are logged *before* the process dies, so a chaos report can
-    count them; a logging failure never masks or alters the injection."""
+
+def _log_event(plan: FaultPlan, event: FaultEvent) -> None:
+    """Best-effort observability of fired events, on the telemetry schema.
+
+    Fired faults are ordinary telemetry: with a stream active in this
+    process the event rides it (``name="fault"``, the
+    :meth:`FaultEvent.as_dict` payload as attrs), so chaos reports and fleet
+    timelines read one format.  Without one — a fault-injected process run
+    outside an instrumented harness — the plan's ``log_dir`` gets a per-pid
+    stream in the same schema.  Crash events are logged *before* the process
+    dies, so a chaos report can count them; a logging failure never masks or
+    alters the injection.
+    """
+    writer = _telemetry.active_writer()
+    if writer is not None:
+        _telemetry.event("fault", **event.as_dict())
+        return
     if plan.log_dir is None:
         return
-    try:
-        directory = Path(plan.log_dir)
-        directory.mkdir(parents=True, exist_ok=True)
-        payload = dict(event.as_dict(), pid=os.getpid(), at=time.time())
-        with (directory / f"{os.getpid()}.jsonl").open(
-            "a", encoding="utf-8"
-        ) as handle:
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
-            handle.flush()
-    except OSError:  # pragma: no cover - observability must not inject faults
-        pass
+    key = (str(plan.log_dir), os.getpid())
+    fallback = _fallback_writers.get(key)
+    if fallback is None:
+        fallback = TelemetryWriter(
+            Path(plan.log_dir) / f"{os.getpid()}.jsonl",
+            worker=f"pid-{os.getpid()}",
+        )
+        _fallback_writers[key] = fallback
+    fallback.write_event("fault", event.as_dict())

@@ -28,7 +28,6 @@ the same faults fire at the same crossings.
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import subprocess
@@ -48,6 +47,8 @@ from repro.orchestrate.coordinator import finalize_queue
 from repro.orchestrate.queue import WorkQueue
 from repro.orchestrate.worker import run_worker
 from repro.store.runstore import RunStore, prune_store
+from repro.telemetry import api as telemetry
+from repro.telemetry.writer import read_telemetry_dir
 
 __all__ = ["DEFAULT_CHAOS_RATES", "ChaosReport", "run_chaos"]
 
@@ -149,6 +150,7 @@ def _spawn_worker(
     lease_seconds: float,
     max_attempts: int,
     run_timeout: Optional[float],
+    trace: bool = False,
 ) -> subprocess.Popen:
     command = [
         sys.executable, "-m", "repro.orchestrate", "worker",
@@ -161,6 +163,8 @@ def _spawn_worker(
     ]
     if run_timeout is not None:
         command += ["--run-timeout", f"{run_timeout:g}"]
+    if trace:
+        command += ["--telemetry"]
     log_dir.mkdir(parents=True, exist_ok=True)
     log = (log_dir / f"{worker_id}.log").open("w", encoding="utf-8")
     try:
@@ -187,18 +191,21 @@ def _work_started(queue: WorkQueue) -> bool:
     )
 
 
-def _collect_events(log_dir: Path) -> List[Dict[str, object]]:
+def _collect_fault_events(*dirs: Path) -> List[Dict[str, object]]:
+    """Fired-fault attrs from every telemetry stream under ``dirs``.
+
+    Faults ride the unified telemetry schema (``name="fault"`` events): a
+    traced storm logs them in the workers' own streams, an untraced one in
+    the plan's per-pid fallback streams — the report reads both the same
+    way.  Torn tails from crashing processes are skipped by the reader.
+    """
     events: List[Dict[str, object]] = []
-    if not log_dir.is_dir():
-        return events
-    for path in sorted(log_dir.glob("*.jsonl")):
-        for line in path.read_text(encoding="utf-8").splitlines():
-            try:
-                payload = json.loads(line)
-            except ValueError:
-                continue  # a torn log tail from a crashing process
-            if isinstance(payload, dict):
-                events.append(payload)
+    for directory in dict.fromkeys(dirs):
+        for record in read_telemetry_dir(directory):
+            if record.get("kind") == "event" and record.get("name") == "fault":
+                attrs = record.get("attrs")
+                if isinstance(attrs, dict):
+                    events.append(attrs)
     return events
 
 
@@ -217,6 +224,7 @@ def run_chaos(
     storm_timeout: float = 120.0,
     output: Optional[Union[str, Path]] = None,
     check: bool = True,
+    trace: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> ChaosReport:
     """Soak ``sweep`` under a seeded adversary and verify byte-identity.
@@ -260,6 +268,12 @@ def run_chaos(
         Raise :class:`OrchestrationError` when the finalized bytes diverge
         from the reference (default).  ``False`` returns the report with
         ``identical=False`` instead.
+    trace:
+        Run the soak with telemetry on: storm workers stream spans/events
+        (and their fired faults) to ``<queue_dir>/telemetry/``, and the
+        harness itself traces adversary kills and the clean drain.  The
+        byte-identity verdict is unchanged by tracing — that is the
+        out-of-band contract this flag exists to soak.
     log:
         Optional line sink for progress (the CLI passes ``print``).
     """
@@ -300,6 +314,7 @@ def run_chaos(
     # 2. The storm.
     events_dir = queue_dir / "chaos-events"
     logs_dir = queue_dir / "chaos-logs"
+    telemetry_dir = queue_dir / "telemetry"
     plan = FaultPlan(
         seed,
         rates=DEFAULT_CHAOS_RATES if rates is None else rates,
@@ -314,79 +329,104 @@ def run_chaos(
     fleet: Dict[str, subprocess.Popen] = {}
     max_spawns = workers + kills + 16  # respawn budget: bounded churn
     deadline = time.monotonic() + storm_timeout
+    # The harness's own trace (adversary kills, the drain worker, finalize)
+    # shares the storm workers' telemetry directory; scoping is manual so
+    # phase 1 — the serial reference — stays untraced either way.
+    tracer = telemetry.scoped(telemetry_dir, "chaos-adversary") if trace else None
+    if tracer is not None:
+        tracer.__enter__()
 
     def spawn() -> None:
         worker_id = f"chaos-w{report.workers_spawned}"
         fleet[worker_id] = _spawn_worker(
             queue, worker_id, env, logs_dir,
             lease_seconds=lease_seconds, max_attempts=max_attempts,
-            run_timeout=run_timeout,
+            run_timeout=run_timeout, trace=trace,
         )
         report.workers_spawned += 1
+        telemetry.event("chaos.spawn", spawned=worker_id)
 
-    for _ in range(workers):
-        spawn()
     try:
-        while not _terminated(queue, n_runs):
-            for worker_id, process in list(fleet.items()):
-                code = process.poll()
-                if code is not None:
-                    report.worker_exits[worker_id] = code
-                    del fleet[worker_id]
-            if report.kills_delivered < kills and fleet and _work_started(queue):
-                alive = sorted(fleet)
-                pick = _uniform(
-                    seed, "chaos.kill", report.kills_delivered + 1
-                )
-                victim = alive[int(pick * len(alive))]
-                fleet[victim].send_signal(signal.SIGKILL)
-                report.kills_delivered += 1
-                emit(f"chaos: adversary SIGKILLed {victim}")
-            while len(fleet) < workers and report.workers_spawned < max_spawns:
-                spawn()
-            if not fleet:
-                emit("chaos: fleet extinct and respawn budget spent")
-                break
-            if time.monotonic() > deadline:
-                emit("chaos: storm timeout; handing over to the clean drain")
-                break
-            time.sleep(_STORM_POLL_SECONDS)
-    finally:
-        for worker_id, process in fleet.items():
-            process.send_signal(signal.SIGKILL)
-            process.wait()
-            report.worker_exits[worker_id] = process.returncode
+        for _ in range(workers):
+            spawn()
+        try:
+            while not _terminated(queue, n_runs):
+                for worker_id, process in list(fleet.items()):
+                    code = process.poll()
+                    if code is not None:
+                        report.worker_exits[worker_id] = code
+                        del fleet[worker_id]
+                if (
+                    report.kills_delivered < kills
+                    and fleet
+                    and _work_started(queue)
+                ):
+                    alive = sorted(fleet)
+                    pick = _uniform(
+                        seed, "chaos.kill", report.kills_delivered + 1
+                    )
+                    victim = alive[int(pick * len(alive))]
+                    fleet[victim].send_signal(signal.SIGKILL)
+                    report.kills_delivered += 1
+                    telemetry.event(
+                        "chaos.kill",
+                        victim=victim,
+                        kill_index=report.kills_delivered,
+                    )
+                    emit(f"chaos: adversary SIGKILLed {victim}")
+                while (
+                    len(fleet) < workers
+                    and report.workers_spawned < max_spawns
+                ):
+                    spawn()
+                if not fleet:
+                    emit("chaos: fleet extinct and respawn budget spent")
+                    break
+                if time.monotonic() > deadline:
+                    emit(
+                        "chaos: storm timeout; handing over to the clean drain"
+                    )
+                    break
+                time.sleep(_STORM_POLL_SECONDS)
+        finally:
+            for worker_id, process in fleet.items():
+                process.send_signal(signal.SIGKILL)
+                process.wait()
+                report.worker_exits[worker_id] = process.returncode
 
-    # 3. Clean drain: clear storm residue, finish in-process without faults.
-    for fingerprint in queue.failed_fingerprints():
-        record = queue.failed_record(fingerprint) or {}
-        report.failed_in_storm[str(record.get("run_id", fingerprint))] = str(
-            record.get("reason", "unknown")
+        # 3. Clean drain: clear storm residue, finish in-process, faults off.
+        for fingerprint in queue.failed_fingerprints():
+            record = queue.failed_record(fingerprint) or {}
+            report.failed_in_storm[str(record.get("run_id", fingerprint))] = (
+                str(record.get("reason", "unknown"))
+            )
+            queue.failed_path(fingerprint).unlink()
+        for claim in queue.claims_dir.glob("*.json"):
+            claim.unlink()  # every holder is dead; don't wait out their leases
+        emit(
+            f"chaos: clean drain ({len(report.failed_in_storm)} failed "
+            "marker(s) cleared)"
         )
-        queue.failed_path(fingerprint).unlink()
-    for claim in queue.claims_dir.glob("*.json"):
-        claim.unlink()  # every holder is dead; don't wait out their leases
-    emit(
-        f"chaos: clean drain ({len(report.failed_in_storm)} failed marker(s) "
-        "cleared)"
-    )
-    drained = run_worker(
-        queue, worker_id="chaos-drain", lease_seconds=lease_seconds,
-        checkpoint_seconds=0.0, wait=False, execute=execute_run,
-    )
-    report.drained = list(drained.executed)
+        drained = run_worker(
+            queue, worker_id="chaos-drain", lease_seconds=lease_seconds,
+            checkpoint_seconds=0.0, wait=False, execute=execute_run,
+        )
+        report.drained = list(drained.executed)
 
-    # 4. Finalize and compare bytes.
-    finalized = finalize_queue(
-        queue,
-        queue_dir / "chaos-finalized.jsonl" if output is None else output,
-        strip_timing=True,
-    )
+        # 4. Finalize and compare bytes.
+        finalized = finalize_queue(
+            queue,
+            queue_dir / "chaos-finalized.jsonl" if output is None else output,
+            strip_timing=True,
+        )
+    finally:
+        if tracer is not None:
+            tracer.__exit__(None, None, None)
     report.finalized_path = finalized.path
     report.identical = (
         finalized.path.read_bytes() == reference.path.read_bytes()
     )
-    for event in _collect_events(events_dir):
+    for event in _collect_fault_events(events_dir, telemetry_dir):
         kind, site = str(event.get("kind")), str(event.get("site"))
         report.injected_by_kind[kind] = report.injected_by_kind.get(kind, 0) + 1
         report.injected_by_site[site] = report.injected_by_site.get(site, 0) + 1

@@ -31,10 +31,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.analysis.progress import format_queue_progress
-from repro.exceptions import ConfigurationError, ReproError
+from repro.analysis.timeline import fleet_timeline, format_fleet_timeline
+from repro.exceptions import ConfigurationError, OrchestrationError, ReproError
 from repro.experiments.cli import add_sweep_arguments, positive_int, sweep_from_args
 from repro.faults import FAULT_KINDS, ForcedFault
 from repro.orchestrate.chaos import run_chaos
@@ -44,6 +48,7 @@ from repro.orchestrate.worker import (
     DEFAULT_CHECKPOINT_SECONDS,
     DEFAULT_LEASE_SECONDS,
     DEFAULT_POLL_SECONDS,
+    default_worker_id,
     run_worker,
 )
 
@@ -153,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit when nothing is claimable instead of polling for "
         "stealable leases (for fixed-size fleets)",
     )
+    worker.add_argument(
+        "--telemetry", action="store_true",
+        help="trace this worker's spans/events to "
+        "<queue>/telemetry/<worker-id>.jsonl (out-of-band: science bytes "
+        "are unchanged; read back with `status --watch` and `report`)",
+    )
 
     status = commands.add_parser(
         "status", help="report progress, throughput and in-flight leases"
@@ -161,6 +172,26 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--lease", type=_positive_float, default=DEFAULT_LEASE_SECONDS, metavar="S",
         help="lease the workers were started with (sets the live/stale split)",
+    )
+    status.add_argument(
+        "--watch", action="store_true",
+        help="live dashboard: redraw until the queue drains (telemetry "
+        "fleet summary included when <queue>/telemetry exists)",
+    )
+    status.add_argument(
+        "--interval", type=_positive_float, default=2.0, metavar="S",
+        help="refresh period for --watch (default: 2)",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="reconstruct the fleet timeline and utilization table from "
+        "<queue>/telemetry (run workers with --telemetry first)",
+    )
+    report.add_argument("--queue", required=True, metavar="DIR", help="queue directory")
+    report.add_argument(
+        "--bins", type=positive_int, default=40, metavar="N",
+        help="busy-timeline resolution (default: 40 bins over the makespan)",
     )
 
     finalize = commands.add_parser(
@@ -244,7 +275,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="finalized store path (default: <queue>/chaos-finalized.jsonl)",
     )
+    chaos.add_argument(
+        "--telemetry", action="store_true",
+        help="soak with tracing on: storm workers, adversary kills and the "
+        "clean drain stream to <queue>/telemetry/ (the byte-identity check "
+        "is unchanged — that is the point)",
+    )
     return parser
+
+
+def _status_text(queue_dir: str, lease_seconds: float) -> "tuple[str, bool]":
+    """One status frame: progress plus (when traced) the fleet summary.
+
+    Returns the text and whether the queue is drained (every manifest run
+    carries a done or failed marker) — the ``--watch`` loop's exit signal.
+    """
+    progress = queue_progress(queue_dir, lease_seconds=lease_seconds)
+    text = format_queue_progress(progress)
+    telemetry_dir = Path(queue_dir) / "telemetry"
+    if telemetry_dir.is_dir():
+        fleet = fleet_timeline(telemetry_dir)
+        text += "\n\n" + format_fleet_timeline(fleet)
+    drained = (
+        progress.n_runs > 0
+        and progress.n_done + progress.n_failed >= progress.n_runs
+    )
+    return text, drained
+
+
+def _watch(queue_dir: str, lease_seconds: float, interval: float) -> None:
+    """Redraw the dashboard until the queue drains (or ctrl-C)."""
+    while True:
+        text, drained = _status_text(queue_dir, lease_seconds)
+        # ANSI clear-screen + home: a live dashboard, not a scrolling log.
+        print(f"\x1b[2J\x1b[H{text}", flush=True)
+        if drained:
+            return
+        time.sleep(interval)
 
 
 def _worker_log(event: str, entry: QueueEntry) -> None:
@@ -272,9 +339,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{f' x {len(sweep.knobs)} knobs' if len(sweep.knobs) > 1 else ''})"
             )
         elif args.command == "worker":
+            worker_id = args.worker_id or default_worker_id()
+            if args.telemetry:
+                # Enabled before the loop so every span lands in one stream
+                # named like the lease owner and the store stem.
+                telemetry.enable(Path(args.queue) / "telemetry", worker_id)
             outcome = run_worker(
                 args.queue,
-                worker_id=args.worker_id,
+                worker_id=worker_id,
                 store_path=args.store,
                 lease_seconds=args.lease,
                 poll_seconds=args.poll,
@@ -299,9 +371,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{outcome.wall_seconds:.2f}s -> {outcome.store_path}"
             )
         elif args.command == "status":
+            if args.watch:
+                _watch(args.queue, args.lease, args.interval)
+            else:
+                print(_status_text(args.queue, args.lease)[0])
+        elif args.command == "report":
+            telemetry_dir = Path(args.queue) / "telemetry"
+            if not telemetry_dir.is_dir():
+                raise OrchestrationError(
+                    f"no telemetry directory at {telemetry_dir}; start "
+                    "workers with --telemetry to trace a sweep"
+                )
             print(
-                format_queue_progress(
-                    queue_progress(args.queue, lease_seconds=args.lease)
+                format_fleet_timeline(
+                    fleet_timeline(telemetry_dir), bins=args.bins
                 )
             )
         elif args.command == "finalize":
@@ -331,6 +414,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 run_timeout=args.run_timeout,
                 storm_timeout=args.storm_timeout,
                 output=args.output,
+                trace=args.telemetry,
                 log=print,
             )
             print(report.summary())

@@ -19,6 +19,7 @@ from repro.orchestrate.queue import WorkQueue
 from repro.orchestrate.worker import DEFAULT_LEASE_SECONDS
 from repro.store.checkpoint import CheckpointStore
 from repro.store.runstore import RunStore, merge_stores, prune_store
+from repro.telemetry import api as telemetry
 
 __all__ = ["queue_progress", "finalize_queue"]
 
@@ -158,18 +159,24 @@ def finalize_queue(
         raise OrchestrationError(
             f"queue {queue.path} has no worker stores to merge"
         )
-    merged = merge_stores(stores, output)
-    lost = sorted(
-        {entry.fingerprint for entry in entries} - set(merged.fingerprints())
-    )
-    if require_complete and lost:
-        # Done markers without backing records means a store file was lost.
-        raise OrchestrationError(
-            f"finalized store is missing {len(lost)} fingerprint(s) that have "
-            f"done markers (first: {lost[0][:12]}…); a per-worker store file "
-            "is missing or was written outside the queue (pass it via "
-            "--extra-store)"
+    with telemetry.span(
+        "queue.finalize",
+        queue=str(queue.path),
+        n_runs=len(entries),
+        n_stores=len(stores),
+    ):
+        merged = merge_stores(stores, output)
+        lost = sorted(
+            {entry.fingerprint for entry in entries} - set(merged.fingerprints())
         )
-    if strip_timing:
-        merged = prune_store(merged.path, strip_timing=True)
+        if require_complete and lost:
+            # Done markers without backing records means a store file was lost.
+            raise OrchestrationError(
+                f"finalized store is missing {len(lost)} fingerprint(s) that "
+                f"have done markers (first: {lost[0][:12]}…); a per-worker "
+                "store file is missing or was written outside the queue (pass "
+                "it via --extra-store)"
+            )
+        if strip_timing:
+            merged = prune_store(merged.path, strip_timing=True)
     return merged

@@ -47,6 +47,7 @@ from typing import Optional
 
 from repro import faults
 from repro.orchestrate.queue import atomic_write_json
+from repro.telemetry import api as telemetry
 from repro.utils.retrying import DEFAULT_RETRY_POLICY, RetryPolicy, call_with_retries
 
 __all__ = [
@@ -217,7 +218,17 @@ def try_steal(path: Path, worker: str, lease_seconds: float) -> bool:
         ),
     )
     after = read_lease(path)
-    return after is not None and after.worker == worker
+    won = after is not None and after.worker == worker
+    if won:
+        telemetry.event(
+            "lease.steal",
+            worker=worker,
+            claim=path.stem,
+            victim=lease.worker,
+            lease_age=lease.age(),
+            crashes=lease.crashes + 1,
+        )
+    return won
 
 
 def refresh_lease(
@@ -303,12 +314,26 @@ class Heartbeat:
         )
 
     def _beat(self) -> None:
+        # Runs in its own thread: contextvars do not cross the thread start,
+        # so the worker label is passed explicitly on every telemetry event.
         while not self._stop.wait(self._interval):
             try:
-                call_with_retries(self._refresh, policy=self._retry_policy)
+                call_with_retries(
+                    self._refresh, policy=self._retry_policy,
+                    site="lease.refresh",
+                )
             except BaseException as error:  # noqa: BLE001 - surfaced at check()
                 self._error = error
+                telemetry.event(
+                    "lease.heartbeat_failed",
+                    worker=self._worker,
+                    claim=self._path.stem,
+                    error=f"{type(error).__name__}: {error}",
+                )
                 return
+            telemetry.event(
+                "lease.heartbeat", worker=self._worker, claim=self._path.stem
+            )
 
     @property
     def failed(self) -> bool:

@@ -57,6 +57,7 @@ from repro.orchestrate.lease import (
 from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
 from repro.store.checkpoint import CheckpointStore
 from repro.store.runstore import RunStore
+from repro.telemetry import api as telemetry
 from repro.utils.retrying import call_with_retries
 
 __all__ = ["RunTimeout", "WorkerOutcome", "default_worker_id", "run_worker"]
@@ -212,9 +213,59 @@ def run_worker(
     start = time.perf_counter()
 
     def notify(event: str, entry: QueueEntry) -> None:
+        telemetry.event(
+            f"worker.{event}",
+            run=entry.spec.run_id,
+            fingerprint=entry.fingerprint,
+        )
         if on_progress is not None:
             on_progress(event, entry)
 
+    with telemetry.worker_scope(worker):
+        telemetry.event(
+            "worker.start",
+            queue=str(queue.path),
+            lease_seconds=lease_seconds,
+            n_runs=len(entries),
+        )
+        _drain(
+            queue, entries, worker, store, checkpoints, outcome, notify,
+            lease_seconds=lease_seconds, poll_seconds=poll_seconds,
+            max_runs=max_runs, max_attempts=max_attempts,
+            checkpoint_seconds=checkpoint_seconds, run_timeout=run_timeout,
+            wait=wait, execute=execute,
+        )
+        outcome.wall_seconds = time.perf_counter() - start
+        telemetry.event(
+            "worker.exit",
+            executed=outcome.n_executed,
+            stolen=len(outcome.stolen),
+            failed=len(outcome.failed),
+            healed=len(outcome.healed),
+            wall_seconds=outcome.wall_seconds,
+        )
+    return outcome
+
+
+def _drain(
+    queue: WorkQueue,
+    entries: List[QueueEntry],
+    worker: str,
+    store: RunStore,
+    checkpoints: CheckpointStore,
+    outcome: WorkerOutcome,
+    notify: Callable[[str, QueueEntry], None],
+    *,
+    lease_seconds: float,
+    poll_seconds: float,
+    max_runs: Optional[int],
+    max_attempts: int,
+    checkpoint_seconds: float,
+    run_timeout: Optional[float],
+    wait: bool,
+    execute: Callable[..., Tuple[CampaignResult, float]],
+) -> None:
+    """The claim/steal/execute passes of :func:`run_worker` (its whole body)."""
     while True:
         claimed_any = False
         pending = 0
@@ -240,7 +291,8 @@ def run_worker(
                         worker_id=worker,
                         run_id=entry.spec.run_id,
                         wall_seconds=stored.wall_seconds,
-                    )
+                    ),
+                    site="queue.mark_done",
                 )
                 checkpoints.discard(entry.fingerprint)
                 outcome.healed.append(entry.fingerprint)
@@ -288,7 +340,8 @@ def run_worker(
                         ),
                         attempts=attempt,
                         reason="poison",
-                    )
+                    ),
+                    site="queue.mark_failed",
                 )
                 release_claim(claim, worker)
                 outcome.failed.append(entry.spec.run_id)
@@ -313,8 +366,6 @@ def run_worker(
             if not wait:
                 break  # live peers hold everything that's left
             time.sleep(poll_seconds)
-    outcome.wall_seconds = time.perf_counter() - start
-    return outcome
 
 
 def _load_resume_state(
@@ -415,6 +466,10 @@ def _execute_with_budget(
 
     def on_cycle(state: CampaignState) -> None:
         nonlocal last_save
+        telemetry.event(
+            "worker.cycle", run=entry.spec.run_id, cycle=state.cycle,
+            worker=worker,
+        )
         # A dead heartbeat means the lease is going stale under us: abort at
         # the cycle boundary, before a peer steals the claim and doubles the
         # remaining cycles — the checkpoint just saved makes the abort cheap.
@@ -424,12 +479,17 @@ def _execute_with_budget(
         if now - last_save < checkpoint_seconds:
             return
         try:
-            call_with_retries(
-                lambda: checkpoints.save(
-                    entry.fingerprint, state,
-                    run_id=entry.spec.run_id, worker=worker,
+            with telemetry.span(
+                "worker.checkpoint", run=entry.spec.run_id, cycle=state.cycle,
+                worker=worker,
+            ):
+                call_with_retries(
+                    lambda: checkpoints.save(
+                        entry.fingerprint, state,
+                        run_id=entry.spec.run_id, worker=worker,
+                    ),
+                    site="checkpoint.save",
                 )
-            )
         except OSError:
             # Checkpoints accelerate recovery, they do not gate correctness:
             # a save that fails persistently (queue-FS outage, ENOSPC) must
@@ -445,31 +505,47 @@ def _execute_with_budget(
             outcome.resumed.append((entry.spec.run_id, resume.cycle))
             notify("resume", entry)
         try:
-            with Heartbeat(
-                claim, worker, lease_seconds, attempt=attempt, crashes=crashes
-            ) as heartbeat:
-                result, seconds = _run_attempt(
-                    execute, entry, resume, on_cycle, run_timeout
+            with telemetry.span(
+                "worker.run",
+                run=entry.spec.run_id,
+                fingerprint=entry.fingerprint,
+                attempt=attempt,
+                resumed_cycle=None if resume is None else resume.cycle,
+            ):
+                with Heartbeat(
+                    claim, worker, lease_seconds, attempt=attempt,
+                    crashes=crashes,
+                ) as heartbeat:
+                    with telemetry.span(
+                        "worker.execute", run=entry.spec.run_id
+                    ):
+                        result, seconds = _run_attempt(
+                            execute, entry, resume, on_cycle, run_timeout
+                        )
+                # Store/marker failures (full disk, queue-FS hiccup) are
+                # retried with backoff; if they persist the claim is released
+                # like an execution failure, so a peer retries immediately
+                # instead of waiting out the lease.
+                record = SuiteRunRecord(
+                    spec=entry.spec, result=result, wall_seconds=seconds
                 )
-            # Store/marker failures (full disk, queue-FS hiccup) are retried
-            # with backoff; if they persist the claim is released like an
-            # execution failure, so a peer retries immediately instead of
-            # waiting out the lease.
-            record = SuiteRunRecord(
-                spec=entry.spec, result=result, wall_seconds=seconds
-            )
-            call_with_retries(
-                lambda: store.append(record, fingerprint=entry.fingerprint)
-            )
-            call_with_retries(
-                lambda: queue.mark_done(
-                    entry.fingerprint,
-                    worker_id=worker,
-                    run_id=entry.spec.run_id,
-                    wall_seconds=seconds,
-                )
-            )
-            checkpoints.discard(entry.fingerprint)
+                with telemetry.span("worker.publish", run=entry.spec.run_id):
+                    call_with_retries(
+                        lambda: store.append(
+                            record, fingerprint=entry.fingerprint
+                        ),
+                        site="store.append",
+                    )
+                    call_with_retries(
+                        lambda: queue.mark_done(
+                            entry.fingerprint,
+                            worker_id=worker,
+                            run_id=entry.spec.run_id,
+                            wall_seconds=seconds,
+                        ),
+                        site="queue.mark_done",
+                    )
+                checkpoints.discard(entry.fingerprint)
             return True
         except Exception as error:
             heartbeat = None
@@ -497,7 +573,8 @@ def _execute_with_budget(
                     reason=(
                         "timeout" if isinstance(error, RunTimeout) else "error"
                     ),
-                )
+                ),
+                site="queue.mark_failed",
             )
             release_claim(claim, worker)
             outcome.failed.append(entry.spec.run_id)

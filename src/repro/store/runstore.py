@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
 from repro.core.results import net_deltas_from_summary
+from repro.telemetry import api as telemetry
 from repro.exceptions import StoreError
 from repro.experiments.spec import RunSpec
 from repro.experiments.suite import SuiteRunRecord
@@ -359,6 +360,13 @@ class RunStore:
             handle.write(data)
             handle.flush()
         self._index[fingerprint] = offset
+        telemetry.event(
+            "store.append",
+            store=self._path.name,
+            fingerprint=fingerprint,
+            run=record.spec.run_id,
+            bytes=len(data),
+        )
         if event is not None and event.kind == "crash_after_write":
             faults.crash(event)
         return fingerprint
@@ -438,6 +446,12 @@ def merge_stores(
     _write_canonical(
         {fingerprint: payload for fingerprint, (payload, _) in merged.items()},
         output_path,
+    )
+    telemetry.event(
+        "store.merge",
+        output=output_path.name,
+        n_inputs=len(inputs),
+        n_records=len(merged),
     )
     return RunStore(output_path)
 

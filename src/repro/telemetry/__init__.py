@@ -1,0 +1,56 @@
+"""Out-of-band fleet telemetry: spans, events, JSONL streams.
+
+``repro.telemetry`` is the observability side-channel of the orchestrate
+stack: :func:`span` and :func:`event` instrument every fleet seam (worker
+claim → execute → cycle → checkpoint → publish, lease heartbeats and steals,
+store appends and merges, retry attempts, fired faults, chaos kills), and
+the records land as schema-stamped JSONL under ``<queue>/telemetry/`` — one
+stream per worker, torn-tail tolerant like the run stores.
+
+The hard contract: telemetry is **strictly out of band**.  It draws no
+science RNG, crosses no failpoints, and swallows its own I/O failures, so a
+traced sweep finalizes byte-identical to an untraced one (the two-worker and
+chaos CI smokes ``cmp`` exactly that).  Disabled — the default — a crossing
+costs one global read and one comparison, bounded by the orchestrate
+benchmark at ≤5% of a drain.
+
+Read it back with :mod:`repro.analysis.timeline` (per-worker timelines,
+utilization, stragglers) or live via ``python -m repro.orchestrate status
+--watch`` and ``… report``.
+"""
+
+from repro.telemetry.api import (
+    TELEMETRY_ENV,
+    active_writer,
+    disable,
+    enable,
+    enabled,
+    event,
+    reset,
+    scoped,
+    span,
+    worker_scope,
+)
+from repro.telemetry.writer import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryWriter,
+    iter_telemetry_file,
+    read_telemetry_dir,
+)
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryWriter",
+    "active_writer",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "iter_telemetry_file",
+    "read_telemetry_dir",
+    "reset",
+    "scoped",
+    "span",
+    "worker_scope",
+]

@@ -1,0 +1,227 @@
+"""The process-wide tracing switch: ``span``/``event`` and their activation.
+
+The hot-path contract mirrors :func:`repro.faults.failpoint`: with no writer
+active, :func:`event` is one global read and one comparison, and
+:func:`span` returns a shared no-op context manager — cheap enough to sit on
+every store append and lease heartbeat unconditionally (the orchestrate
+benchmark pins the disabled tax at ≤5% of a drain).
+
+Activation, in precedence order:
+
+* :func:`enable` — install a writer in this process (the CLI's
+  ``worker --telemetry`` does this before the worker loop starts);
+* :func:`scoped` — a ``with``-scoped writer for tests and harnesses,
+  restoring the prior state on exit;
+* the :data:`TELEMETRY_ENV` environment variable — a telemetry *directory*,
+  resolved lazily on the first crossing, which is how spawned worker
+  subprocesses inherit tracing from a chaos/orchestrate harness.
+
+Worker identity: in-process fleets (threaded workers in tests, the chaos
+drain) share one process-global writer, so the ``worker`` label of a record
+resolves as *explicit ``worker=`` attr* → *the enclosing*
+:func:`worker_scope` *contextvar* → *the writer's default*.  Helper threads
+(heartbeats) do not inherit contextvars from their spawner and must pass
+``worker=`` explicitly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import socket
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from repro.telemetry.writer import TelemetryWriter
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "enable",
+    "disable",
+    "enabled",
+    "event",
+    "reset",
+    "scoped",
+    "span",
+    "active_writer",
+    "worker_scope",
+]
+
+#: Environment variable naming the telemetry directory for this process tree.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: The active writer; ``_UNRESOLVED`` until the environment has been consulted.
+_UNRESOLVED = object()
+_writer = _UNRESOLVED
+
+_worker_var: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_telemetry_worker", default=None
+)
+
+
+def _default_stream_name() -> str:
+    host = socket.gethostname().replace("/", "-") or "proc"
+    return f"{host}-{os.getpid()}"
+
+
+def active_writer() -> Optional[TelemetryWriter]:
+    """The writer governing this process, resolving the environment once."""
+    global _writer
+    if _writer is _UNRESOLVED:
+        directory = os.environ.get(TELEMETRY_ENV)
+        if directory:
+            name = _default_stream_name()
+            _writer = TelemetryWriter(Path(directory) / f"{name}.jsonl", worker=name)
+        else:
+            _writer = None
+    return _writer  # type: ignore[return-value]
+
+
+def enable(
+    directory: Union[str, Path], worker: Optional[str] = None
+) -> TelemetryWriter:
+    """Install a writer streaming to ``<directory>/<worker>.jsonl``.
+
+    ``worker`` defaults to a host-pid stream name; pass the worker id when
+    there is one, so the stream file matches the lease owner and the store
+    stem (that is what the timeline joins on).
+    """
+    global _writer
+    name = worker or _default_stream_name()
+    writer = TelemetryWriter(Path(directory) / f"{name}.jsonl", worker=name)
+    _writer = writer
+    return writer
+
+
+def disable() -> None:
+    """Stop tracing in this process (the environment is *not* re-read)."""
+    global _writer
+    if isinstance(_writer, TelemetryWriter):
+        _writer.close()
+    _writer = None
+
+
+def reset() -> None:
+    """Forget the installed writer; the next crossing re-reads the environment."""
+    global _writer
+    if isinstance(_writer, TelemetryWriter):
+        _writer.close()
+    _writer = _UNRESOLVED
+
+
+def enabled() -> bool:
+    return active_writer() is not None
+
+
+@contextmanager
+def scoped(
+    directory: Union[str, Path], worker: Optional[str] = None
+) -> Iterator[TelemetryWriter]:
+    """Scope a writer to a ``with`` block, restoring the prior state after."""
+    global _writer
+    previous = _writer
+    writer = enable(directory, worker)
+    try:
+        yield writer
+    finally:
+        writer.close()
+        _writer = previous
+
+
+@contextmanager
+def worker_scope(worker: str) -> Iterator[None]:
+    """Label records emitted in this context (and this thread) as ``worker``'s.
+
+    Contextvars propagate into nested calls but *not* into threads started
+    inside the block — helper threads pass ``worker=`` explicitly instead.
+    """
+    token = _worker_var.set(worker)
+    try:
+        yield
+    finally:
+        _worker_var.reset(token)
+
+
+class _NullSpan:
+    """The shared disabled span: no state, no writes, exceptions pass through."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: wall-clock anchored, perf-counter measured."""
+
+    __slots__ = ("_writer", "_name", "_worker", "_attrs", "_wall", "_perf")
+
+    def __init__(self, writer: TelemetryWriter, name: str, worker, attrs) -> None:
+        self._writer = writer
+        self._name = name
+        self._worker = worker
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._wall = time.time()
+        self._perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> bool:
+        end = self._wall + (time.perf_counter() - self._perf)
+        self._writer.write_span(
+            self._name,
+            self._wall,
+            end,
+            exc_type is None,
+            self._attrs,
+            worker=self._worker,
+        )
+        return False
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event, if tracing is on; a near-free no-op otherwise.
+
+    ``worker=`` is reserved: it labels the record instead of riding in
+    ``attrs`` (threads that outlive their :func:`worker_scope` use it).
+    """
+    writer = _writer
+    if writer is None:
+        return
+    if writer is _UNRESOLVED:
+        writer = active_writer()
+        if writer is None:
+            return
+    worker = attrs.pop("worker", None)
+    if worker is None:
+        worker = _worker_var.get()
+    writer.write_event(name, attrs, worker=worker)
+
+
+def span(name: str, **attrs: Any):
+    """A context manager timing its block, if tracing is on.
+
+    The span is written on exit (start, end, ``ok`` = no exception escaped);
+    exceptions always propagate.  Disabled, this returns a shared no-op
+    object without allocating.
+    """
+    writer = _writer
+    if writer is None:
+        return _NULL_SPAN
+    if writer is _UNRESOLVED:
+        writer = active_writer()
+        if writer is None:
+            return _NULL_SPAN
+    worker = attrs.pop("worker", None)
+    if worker is None:
+        worker = _worker_var.get()
+    return _Span(writer, name, worker, attrs)

@@ -13,19 +13,40 @@ Two complementary facilities:
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["get_logger", "LogRecord", "EventLog"]
+__all__ = ["LOG_LEVEL_ENV", "get_logger", "LogRecord", "EventLog"]
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
 
+#: Environment variable overriding the default log level.  A level name
+#: (``DEBUG``, ``warning``) or a numeric value; it rides ``os.environ`` into
+#: worker subprocesses, so one export sets the verbosity of a whole fleet.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
 
-def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+
+def _level_from_env(default: int = logging.INFO) -> int:
+    """The :data:`LOG_LEVEL_ENV` level, or ``default`` when unset/garbled."""
+    raw = os.environ.get(LOG_LEVEL_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    resolved = logging.getLevelName(raw.upper())
+    return resolved if isinstance(resolved, int) else default
+
+
+def get_logger(name: str, level: Optional[int] = None) -> logging.Logger:
     """Return a configured :class:`logging.Logger` for ``name``.
 
     Handlers are attached only once per logger; repeated calls are cheap and
-    idempotent, so modules can call this at import time.
+    idempotent, so modules can call this at import time.  With ``level=None``
+    (the default) the level comes from :data:`LOG_LEVEL_ENV`, falling back to
+    ``INFO``; an explicit ``level`` always wins over the environment.
     """
     logger = logging.getLogger(name)
     if not logger.handlers:
@@ -33,7 +54,7 @@ def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
         handler.setFormatter(logging.Formatter(_FORMAT))
         logger.addHandler(handler)
         logger.propagate = False
-    logger.setLevel(level)
+    logger.setLevel(_level_from_env() if level is None else level)
     return logger
 
 

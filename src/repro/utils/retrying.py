@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.exceptions import ConfigurationError
+from repro.telemetry import api as telemetry
 
 __all__ = ["DEFAULT_RETRY_POLICY", "RetryPolicy", "call_with_retries"]
 
@@ -84,18 +85,28 @@ def call_with_retries(
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
     rng: Optional[random.Random] = None,
+    site: Optional[str] = None,
 ) -> T:
     """Call ``fn`` until it returns, retrying ``retry_on`` with backoff.
 
     ``on_retry(retry_index, error)`` observes each suppressed failure (log
     hook); the final failure is re-raised unchanged.  ``sleep`` and ``rng``
-    are injectable for deterministic tests.
+    are injectable for deterministic tests.  ``site`` names the seam for
+    telemetry: each suppressed failure emits a ``retry`` event, so backoff
+    churn shows up in fleet timelines instead of vanishing silently.
     """
     retries = policy.attempts - 1
     for retry_index in range(retries):
         try:
             return fn()
         except retry_on as error:
+            if site is not None:
+                telemetry.event(
+                    "retry",
+                    site=site,
+                    retry_index=retry_index,
+                    error=f"{type(error).__name__}: {error}",
+                )
             if on_retry is not None:
                 on_retry(retry_index, error)
             sleep(policy.backoff(retry_index, rng=rng))

@@ -1,0 +1,124 @@
+"""ETA edge cases of the queue-progress snapshot.
+
+The dashboard renders whatever :class:`QueueProgress` computes, so the
+arithmetic must degrade honestly at the awkward corners: a sweep that has
+barely started (no observable rate), an all-cached sweep that drains in one
+instant, and parked claims whose checkpointed cycles pre-pay part of the
+remaining work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import QueueProgress, RunInFlight, format_queue_progress
+
+
+def _progress(**overrides):
+    defaults = dict(
+        n_runs=8, n_done=0, n_running=0, n_stale=0, n_unclaimed=8
+    )
+    defaults.update(overrides)
+    return QueueProgress(**defaults)
+
+
+class TestZeroThroughputStart:
+    def test_single_completion_has_no_rate_and_no_eta(self):
+        progress = _progress(
+            n_done=1, n_unclaimed=7, completion_span=(100.0, 100.0)
+        )
+        assert progress.throughput_per_minute is None
+        assert progress.eta_seconds is None
+
+    def test_no_completions_has_no_rate_and_no_eta(self):
+        progress = _progress()
+        assert progress.throughput_per_minute is None
+        assert progress.eta_seconds is None
+
+    def test_report_omits_the_unknowable_lines(self):
+        text = format_queue_progress(_progress())
+        assert "throughput" not in text
+        assert "est. time to drain" not in text
+
+
+class TestAllCachedSweep:
+    """Every run replays from cache: all done markers land in one instant."""
+
+    def test_degenerate_completion_span_yields_no_rate(self):
+        progress = _progress(
+            n_done=8, n_unclaimed=0, completion_span=(100.0, 100.0)
+        )
+        assert progress.throughput_per_minute is None
+        assert progress.eta_seconds is None
+        assert progress.fraction_done == 1.0
+
+    def test_drained_sweep_with_a_real_span_needs_no_eta(self):
+        progress = _progress(
+            n_done=8, n_unclaimed=0, completion_span=(100.0, 160.0)
+        )
+        assert progress.throughput_per_minute == pytest.approx(7.0)
+        assert progress.eta_seconds is None  # remaining <= 0
+
+
+class TestCheckpointCredit:
+    def test_fraction_done_needs_both_cycle_and_total(self):
+        base = dict(run_id="r", worker="w", lease_age=1.0)
+        assert RunInFlight(**base).fraction_done is None
+        assert RunInFlight(**base, cycle=3).fraction_done is None
+        assert RunInFlight(**base, cycle=3, cycles_total=0).fraction_done is None
+        assert RunInFlight(
+            **base, cycle=6, cycles_total=8
+        ).fraction_done == pytest.approx(0.75)
+
+    def test_fraction_done_caps_at_one(self):
+        run = RunInFlight("r", "w", 1.0, cycle=9, cycles_total=8)
+        assert run.fraction_done == 1.0
+
+    def test_parked_claims_prepay_the_eta(self):
+        """Two in-flight runs at 6/8 and 2/8 cycles credit a whole run."""
+        running = [
+            RunInFlight("r1", "w0", 5.0, cycle=6, cycles_total=8),
+            RunInFlight("r2", "w1", 5.0, cycle=2, cycles_total=8),
+            RunInFlight("r3", "w1", 5.0),  # no checkpoint: credits nothing
+        ]
+        progress = _progress(
+            n_done=4,
+            n_running=3,
+            n_unclaimed=1,
+            running=running,
+            completion_span=(0.0, 180.0),  # 3 completions over 3 min = 1/min
+        )
+        assert progress.cycles_in_flight_credit == pytest.approx(1.0)
+        # remaining = 8 - 4 - 0 - 1.0 = 3 runs at 1/min.
+        assert progress.eta_seconds == pytest.approx(180.0)
+
+    def test_credit_covering_the_remainder_drops_the_eta(self):
+        running = [
+            RunInFlight("r1", "w0", 5.0, cycle=8, cycles_total=8),
+        ]
+        progress = _progress(
+            n_done=7,
+            n_running=1,
+            n_unclaimed=0,
+            running=running,
+            completion_span=(0.0, 180.0),
+        )
+        assert progress.eta_seconds is None  # 8 - 7 - 1.0 = 0 remaining
+
+    def test_failed_runs_are_terminal_not_remaining(self):
+        progress = _progress(
+            n_done=5,
+            n_failed=3,
+            n_unclaimed=0,
+            completion_span=(0.0, 240.0),
+        )
+        assert progress.eta_seconds is None
+        assert "failed (budget spent):  3" in format_queue_progress(progress)
+
+    def test_in_flight_cycle_progress_renders(self):
+        progress = _progress(
+            n_running=1,
+            n_unclaimed=7,
+            running=[RunInFlight("im-rp-s3", "w0", 2.0, cycle=6, cycles_total=8)],
+        )
+        assert "cycle 6/8" in format_queue_progress(progress)

@@ -174,12 +174,19 @@ class TestLeaseFaults:
         assert lease.heartbeat_at == pytest.approx(time.time() + skew, abs=5.0)
 
     def test_checkpoint_save_torn_write_falls_back_a_cycle(self, tmp_path):
-        """An injected torn checkpoint loses the newest line, not the run."""
+        """An injected torn checkpoint loses the newest line, not the run.
+
+        The tear persists half of the rewritten ladder file; the cycle-2
+        payload is made much larger than cycle 1's so the midpoint always
+        lands inside line 2 (a half-and-half split would leave the outcome
+        to timestamp-repr luck)."""
         from repro.core.protocols import CampaignState
 
         store = CheckpointStore(tmp_path / "checkpoints")
         state1 = CampaignState("im-rp", seed=3, cycle=1, payload={"x": 1})
-        state2 = CampaignState("im-rp", seed=3, cycle=2, payload={"x": 2})
+        state2 = CampaignState(
+            "im-rp", seed=3, cycle=2, payload={"x": "y" * 2048}
+        )
         store.save("f" * 8, state1, run_id="r", worker="w")
         with faults.injected_plan(forced("checkpoint.save", 1, "torn_write")):
             with pytest.raises(OSError):
@@ -200,6 +207,7 @@ class TestRegistryLifecycle:
         assert faults.active_plan() is None
 
     def test_fired_events_are_logged_per_pid(self, tmp_path):
+        """Fired faults land as telemetry-schema events, one file per pid."""
         import os
 
         plan = FaultPlan(
@@ -213,7 +221,27 @@ class TestRegistryLifecycle:
         log = tmp_path / "events" / f"{os.getpid()}.jsonl"
         [line] = log.read_text(encoding="utf-8").splitlines()
         logged = json.loads(line)
-        assert logged["site"] == "store.append"
-        assert logged["kind"] == "io_error"
-        assert logged["index"] == 1
+        assert logged["kind"] == "event"
+        assert logged["name"] == "fault"
         assert logged["pid"] == os.getpid()
+        assert logged["attrs"]["site"] == "store.append"
+        assert logged["attrs"]["kind"] == "io_error"
+        assert logged["attrs"]["index"] == 1
+
+    def test_fired_events_ride_an_active_telemetry_stream(self, tmp_path):
+        """With tracing on, faults skip the log_dir and join the one stream."""
+        from repro import telemetry
+
+        plan = FaultPlan(
+            0,
+            force=[ForcedFault("store.append", 1, "io_error")],
+            log_dir=str(tmp_path / "events"),
+        )
+        with telemetry.scoped(tmp_path / "telemetry", "w0"):
+            with faults.injected_plan(plan):
+                assert faults.failpoint("store.append") is not None
+        assert not (tmp_path / "events").exists()
+        [record] = telemetry.read_telemetry_dir(tmp_path / "telemetry")
+        assert record["name"] == "fault"
+        assert record["worker"] == "w0"
+        assert record["attrs"]["site"] == "store.append"

@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 import repro
+from repro.analysis import fleet_timeline
 from repro.exceptions import OrchestrationError
 from repro.experiments import SweepSpec, TargetSpec
 from repro.faults import FaultPlan, ForcedFault, injected_plan
@@ -48,15 +49,24 @@ class TestChaosSoak:
     ):
         """Three distinct adversary seeds, each mixing I/O faults with
         worker deaths (one injected crash per process + one adversary
-        SIGKILL), must all finalize byte-identical to the serial run."""
+        SIGKILL), must all finalize byte-identical to the serial run —
+        with telemetry on, pinning the tracing-is-out-of-band contract."""
         report = run_chaos(
             tmp_path / "soak", CHAOS_SWEEP, seed=seed, workers=2, kills=1,
-            rates=MIXED_RATES, force=FORCED, lease_seconds=1.0,
+            rates=MIXED_RATES, force=FORCED, lease_seconds=1.0, trace=True,
         )
         assert report.identical
         assert report.kills_delivered == 1
         assert report.injected_by_kind.get("crash_after_write", 0) >= 1
         assert report.injected_by_site.get("store.append", 0) >= 1
+        # The traced soak leaves a reconstructible fleet timeline: the
+        # adversary logged its kill, and fired faults rode the streams.
+        fleet = fleet_timeline(tmp_path / "soak" / "telemetry")
+        adversary = fleet.worker_timeline("chaos-adversary")
+        assert adversary is not None
+        assert adversary.count_events("chaos.kill") == 1
+        assert sum(w.count_events("fault") for w in fleet.workers) >= 1
+        assert fleet.n_run_spans >= 1
         # At least one worker died by SIGKILL (the forced append crash or
         # the adversary); others may have exited cleanly when the storm
         # drained.

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import pytest
+
+from repro import telemetry
 from repro.orchestrate.cli import main as orchestrate_main
 from repro.store import RunStore
 from repro.store.cli import main as store_main
@@ -119,3 +122,71 @@ class TestWorkerRetryFlags:
             == 0
         )
         assert "executed 2 run(s)" in capsys.readouterr().out
+
+
+class TestTelemetryCli:
+    """worker --telemetry, the report subcommand, and status --watch."""
+
+    @pytest.fixture(autouse=True)
+    def _untraced(self, monkeypatch):
+        monkeypatch.delenv(telemetry.TELEMETRY_ENV, raising=False)
+        telemetry.reset()
+        yield
+        telemetry.reset()
+
+    def test_traced_session_status_and_report(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        assert (
+            orchestrate_main(
+                [
+                    "worker", "--queue", str(queue_dir),
+                    "--worker-id", "w0", "--no-wait", "--telemetry",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (queue_dir / "telemetry" / "w0.jsonl").exists()
+
+        # status grows the fleet section once the telemetry directory exists.
+        assert orchestrate_main(["status", "--queue", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep progress: 2/2" in out
+        assert "Fleet telemetry:" in out
+
+        assert (
+            orchestrate_main(
+                ["report", "--queue", str(queue_dir), "--bins", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fleet telemetry: 1 worker(s), 2 run span(s)" in out
+        assert "critical run:" in out
+        assert "w0" in out
+
+    def test_report_of_untraced_queue_is_a_clean_error(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        capsys.readouterr()
+        assert orchestrate_main(["report", "--queue", str(queue_dir)]) == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_watch_exits_once_the_queue_drains(self, tmp_path, capsys):
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        orchestrate_main(
+            ["worker", "--queue", str(queue_dir), "--worker-id", "w0", "--no-wait"]
+        )
+        capsys.readouterr()
+        assert (
+            orchestrate_main(
+                [
+                    "status", "--queue", str(queue_dir),
+                    "--watch", "--interval", "0.01",
+                ]
+            )
+            == 0
+        )
+        assert "2/2 runs done" in capsys.readouterr().out

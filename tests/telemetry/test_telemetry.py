@@ -1,0 +1,211 @@
+"""The tracing switch and the stream format.
+
+Two properties carry the whole subsystem: disabled tracing must be an
+allocation-free no-op (the benchmark bounds its tax), and enabled tracing
+must stay *out-of-band* — no failpoint crossings, no RNG draws, best-effort
+writes — so the byte-identity contracts of the orchestrate stack hold with
+telemetry on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults, telemetry
+from repro.exceptions import TelemetryError
+from repro.faults import FaultPlan
+from repro.telemetry import TELEMETRY_SCHEMA_VERSION
+from repro.telemetry.api import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_switch(monkeypatch):
+    """Each test starts untraced and leaves no writer behind."""
+    monkeypatch.delenv(telemetry.TELEMETRY_ENV, raising=False)
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def _records(directory):
+    return telemetry.read_telemetry_dir(directory)
+
+
+class TestDisabled:
+    def test_event_is_a_no_op(self, tmp_path):
+        telemetry.event("lease.steal", claim="c1")
+        assert not telemetry.enabled()
+        assert _records(tmp_path) == []
+
+    def test_span_returns_the_shared_null_singleton(self):
+        first = telemetry.span("worker.run", run="r1")
+        second = telemetry.span("worker.publish")
+        assert first is _NULL_SPAN and second is _NULL_SPAN
+        with first:
+            pass
+
+    def test_null_span_propagates_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.span("worker.run"):
+                raise RuntimeError("boom")
+
+
+class TestRecordSchema:
+    def test_event_record_carries_the_full_schema(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "w0") as writer:
+            telemetry.event("lease.steal", claim="ab12", lease_age=3.5)
+            [line] = writer.path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(line)
+        assert record["v"] == TELEMETRY_SCHEMA_VERSION
+        assert record["kind"] == "event"
+        assert record["name"] == "lease.steal"
+        assert record["pid"] == os.getpid()
+        assert record["worker"] == "w0"
+        assert record["attrs"] == {"claim": "ab12", "lease_age": 3.5}
+        assert isinstance(record["at"], float)
+
+    def test_span_record_times_its_block(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "w0"):
+            with telemetry.span("worker.run", run="r1"):
+                pass
+        [record] = _records(tmp_path / "telemetry")
+        assert record["kind"] == "span"
+        assert record["name"] == "worker.run"
+        assert record["ok"] is True
+        assert record["end"] >= record["start"] > 0.0
+        assert record["attrs"] == {"run": "r1"}
+
+    def test_span_marks_failure_and_reraises(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "w0"):
+            with pytest.raises(ValueError):
+                with telemetry.span("worker.run", run="r1"):
+                    raise ValueError("boom")
+        [record] = _records(tmp_path / "telemetry")
+        assert record["ok"] is False
+
+    def test_unjsonable_attrs_degrade_to_strings(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "w0"):
+            telemetry.event("fault", path=tmp_path)
+        [record] = _records(tmp_path / "telemetry")
+        assert record["attrs"]["path"] == str(tmp_path)
+
+
+class TestWorkerResolution:
+    def test_writer_default_then_contextvar_then_explicit(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "default"):
+            telemetry.event("a")
+            with telemetry.worker_scope("scoped"):
+                telemetry.event("b")
+                telemetry.event("c", worker="explicit")
+        by_name = {r["name"]: r["worker"] for r in _records(tmp_path / "telemetry")}
+        assert by_name == {"a": "default", "b": "scoped", "c": "explicit"}
+
+    def test_worker_scope_restores_on_exit(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "default"):
+            with telemetry.worker_scope("inner"):
+                pass
+            telemetry.event("after")
+        [record] = _records(tmp_path / "telemetry")
+        assert record["worker"] == "default"
+
+
+class TestActivation:
+    def test_scoped_restores_the_previous_state(self, tmp_path):
+        assert not telemetry.enabled()
+        with telemetry.scoped(tmp_path / "telemetry", "w0"):
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+        telemetry.event("dropped")
+        assert _records(tmp_path / "telemetry") == []
+
+    def test_environment_activates_lazily(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, str(tmp_path / "telemetry"))
+        telemetry.reset()
+        telemetry.event("env.activated", n=1)
+        assert telemetry.enabled()
+        [record] = _records(tmp_path / "telemetry")
+        assert record["name"] == "env.activated"
+        # The stream name identifies the process.
+        assert str(os.getpid()) in record["worker"]
+
+    def test_enable_beats_the_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, str(tmp_path / "env"))
+        telemetry.enable(tmp_path / "explicit", "w0")
+        telemetry.event("routed")
+        assert _records(tmp_path / "env") == []
+        [record] = _records(tmp_path / "explicit")
+        assert record["worker"] == "w0"
+
+    def test_disable_stops_tracing_without_rereading_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(telemetry.TELEMETRY_ENV, str(tmp_path / "telemetry"))
+        telemetry.reset()
+        assert telemetry.enabled()
+        telemetry.disable()
+        telemetry.event("dropped")
+        assert not telemetry.enabled()
+        assert _records(tmp_path / "telemetry") == []
+
+
+class TestBestEffortWrites:
+    def test_unwritable_stream_never_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        with telemetry.scoped(blocker / "telemetry", "w0"):
+            telemetry.event("swallowed")
+            with telemetry.span("worker.run"):
+                pass
+
+
+class TestReaders:
+    def test_torn_tail_is_skipped(self, tmp_path):
+        with telemetry.scoped(tmp_path / "telemetry", "w0") as writer:
+            telemetry.event("kept")
+            path = writer.path
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "kind": "event", "na')  # SIGKILL mid-line
+        [record] = telemetry.read_telemetry_dir(tmp_path / "telemetry")
+        assert record["name"] == "kept"
+
+    def test_non_record_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "telemetry" / "w0.jsonl"
+        path.parent.mkdir()
+        path.write_text('[]\n\n{"no": "version"}\n', encoding="utf-8")
+        assert telemetry.read_telemetry_dir(tmp_path / "telemetry") == []
+
+    def test_newer_schema_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "w0.jsonl"
+        newer = {"v": TELEMETRY_SCHEMA_VERSION + 1, "kind": "event", "name": "x"}
+        path.write_text(json.dumps(newer) + "\n", encoding="utf-8")
+        with pytest.raises(TelemetryError):
+            list(telemetry.iter_telemetry_file(path))
+
+    def test_missing_directory_reads_as_an_empty_fleet(self, tmp_path):
+        assert telemetry.read_telemetry_dir(tmp_path / "absent") == []
+
+    def test_directory_read_is_time_sorted_across_streams(self, tmp_path):
+        directory = tmp_path / "telemetry"
+        telemetry.TelemetryWriter(directory / "w1.jsonl", "w1").write_event(
+            "second", at=20.0
+        )
+        telemetry.TelemetryWriter(directory / "w0.jsonl", "w0").write_event(
+            "first", at=10.0
+        )
+        names = [r["name"] for r in telemetry.read_telemetry_dir(directory)]
+        assert names == ["first", "second"]
+
+
+class TestOutOfBand:
+    def test_tracing_crosses_no_failpoints(self, tmp_path):
+        """The observability layer must not perturb fault schedules: a
+        counting plan sees zero crossings from span/event emission."""
+        plan = FaultPlan(0)
+        with telemetry.scoped(tmp_path / "telemetry", "w0"):
+            with faults.injected_plan(plan):
+                telemetry.event("lease.heartbeat", claim="c1")
+                with telemetry.span("worker.run", run="r1"):
+                    pass
+        assert plan.invocations == {}
+        assert len(_records(tmp_path / "telemetry")) == 2
