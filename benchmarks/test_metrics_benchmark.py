@@ -1,0 +1,185 @@
+"""Metrics-layer benchmarks: the observe→decide loop's acceptance bounds.
+
+Three claims from the metrics PR, each measured rather than asserted on
+faith:
+
+* the *disabled* metric verbs are cheap enough to leave compiled into every
+  seam (≤5% of a single-worker drain, same methodology as the failpoint and
+  telemetry taxes);
+* a 2-worker fleet reaches ≥1.5x speedup over 1 worker on the scaling
+  harness once per-run work releases the GIL (sleep-backed executor, the
+  honest stand-in for subprocess/IO-bound runs on a 1-core CI host);
+* the utilization-adaptive in-flight cap converges to within one step of
+  the best *static* cap found by exhaustive sweep, with its decision trail
+  readable from the metric stream.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import PAPER_SEED, print_banner
+from repro.core.campaign import CampaignConfig, DesignCampaign
+from repro.experiments import SweepSpec, TargetSpec
+from repro.experiments.suite import execute_run
+from repro.orchestrate import WorkQueue, run_worker
+from repro.orchestrate.scaling import run_scaling_study
+
+#: 2 protocols x 2 seeds of the fast 1-cycle workload — enough runs to
+#: overlap, short enough that the injected sleep dominates the wall time.
+SCALE_SWEEP = SweepSpec(
+    protocols=("im-rp", "cont-v"),
+    seeds=(PAPER_SEED, PAPER_SEED + 1),
+    targets=TargetSpec(kind="named-pdz", seed=PAPER_SEED),
+    base={"n_cycles": 1, "n_sequences": 4},
+)
+
+#: Per-run GIL-releasing work injected by the scaling benchmark (seconds).
+SCALE_SLEEP_SECONDS = 0.3
+
+
+def test_disabled_metrics_overhead_bounded(tmp_path):
+    """The metric verbs ride every cycle boundary, checkpoint and sampler
+    tick with no build flag to compile them out, so their *disabled* cost is
+    paid by every ordinary run.  Bound it exactly like the failpoint and
+    telemetry taxes: per-call cost of a disabled verb x the metric-record
+    count of a real instrumented drain must stay within 5% of an untraced
+    drain's wall time."""
+    from repro import telemetry
+    from repro.telemetry import metrics, read_telemetry_dir
+
+    telemetry.disable()
+    calls = 100_000
+    metrics.counter("campaign.cycles", accepted=True)  # warm the fast path
+    metrics.gauge("worker.rss_bytes", 1.0)
+    metrics.histogram("campaign.cycle_seconds", 0.1)
+    start = time.perf_counter()
+    for _ in range(calls):
+        metrics.counter("campaign.cycles", accepted=True)
+        metrics.gauge("worker.rss_bytes", 1.0)
+        metrics.histogram("campaign.cycle_seconds", 0.1)
+    # Each loop iteration is three crossings (one per verb).
+    per_call_seconds = (time.perf_counter() - start) / (3 * calls)
+
+    # An untraced drain for the wall-clock baseline...
+    queue = WorkQueue.create(tmp_path / "queue", SCALE_SWEEP)
+    start = time.perf_counter()
+    outcome = run_worker(queue, worker_id="bench-m0")
+    drain_seconds = time.perf_counter() - start
+    assert outcome.n_executed == 4
+
+    # ...and an instrumented drain of the same sweep to count the metric
+    # records an enabled stream actually accumulates.
+    traced_queue = WorkQueue.create(tmp_path / "traced", SCALE_SWEEP)
+    with telemetry.scoped(traced_queue.path / "telemetry", "bench-m0"):
+        traced = run_worker(traced_queue, worker_id="bench-m0")
+    assert traced.n_executed == 4
+    crossings = len(
+        read_telemetry_dir(traced_queue.path / "telemetry", kinds=("metric",))
+    )
+    # Per cycle: cycles + cycle_accepted + cycle_seconds + two fitness
+    # gauges, minimum — plus sampler and checkpoint gauges on top.
+    assert crossings >= 5 * traced.n_executed
+
+    overhead_seconds = per_call_seconds * crossings
+    overhead_fraction = overhead_seconds / drain_seconds
+
+    print_banner("Metrics — disabled-verb tax on the single-worker drain")
+    print(
+        f"disabled verb: {per_call_seconds * 1e9:.0f}ns/call; an instrumented "
+        f"drain of 4 runs records {crossings} metric records; untraced drain "
+        f"{drain_seconds:.2f}s"
+    )
+    print(
+        f"total metrics tax {overhead_seconds * 1e3:.3f}ms "
+        f"({100 * overhead_fraction:.4f}% of the drain)"
+    )
+    # The acceptance bound; the measured tax is orders of magnitude below.
+    assert overhead_fraction <= 0.05
+    telemetry.reset()
+
+
+def test_two_worker_fleet_speedup(tmp_path):
+    """The scaling harness must show ≥1.5x at 2 workers when per-run work
+    releases the GIL.  Real runs are pure-python (GIL-bound), so each run
+    carries a fixed ``sleep`` — the shape of subprocess- or IO-bound
+    execution — while still producing the real science bytes the harness
+    byte-compares across fleet sizes."""
+    from repro.analysis.scaling import format_scaling_table
+
+    def sleepy(spec, resume_state=None, on_cycle=None):
+        result, seconds = execute_run(
+            spec, resume_state=resume_state, on_cycle=on_cycle
+        )
+        time.sleep(SCALE_SLEEP_SECONDS)
+        return result, seconds
+
+    study, runs = run_scaling_study(
+        tmp_path / "scale", SCALE_SWEEP, [1, 2], execute=sleepy
+    )
+    speedup = study.speedup(study.point(2))
+
+    print_banner(
+        "Scaling — 2-worker fleet vs 1 on 4 GIL-releasing runs "
+        f"({SCALE_SLEEP_SECONDS:.1f}s injected each)"
+    )
+    print(format_scaling_table(study))
+    # The harness already byte-compared the finalized stores; surface it.
+    payloads = {run.finalized_path.read_bytes() for run in runs}
+    assert len(payloads) == 1
+    # The acceptance bound: ≥1.5x at 2 workers.
+    assert speedup >= 1.5
+
+
+def test_auto_cap_tracks_best_static_cap(tmp_path, paper_targets):
+    """``max_in_flight_pipelines="auto"`` must land within one step of the
+    best static cap — found here the expensive way, by sweeping every static
+    value and reading the simulated makespan — and its decision trail must
+    be readable from the metric stream."""
+    from repro import telemetry
+    from repro.telemetry import read_metrics
+
+    def makespan(cap):
+        config = CampaignConfig(
+            protocol="im-rp",
+            n_cycles=2,
+            n_sequences=5,
+            seed=PAPER_SEED,
+            max_in_flight_pipelines=cap,
+        )
+        campaign = DesignCampaign(paper_targets, config)
+        campaign.run()
+        return campaign.platform.now
+
+    static_caps = (1, 2, 3, 4)
+    statics = {cap: makespan(cap) for cap in static_caps}
+    floor = min(statics.values())
+    # Smallest cap within 1% of the floor: extra concurrency that buys no
+    # makespan is not "better".
+    best_cap = min(cap for cap, span in statics.items() if span <= 1.01 * floor)
+
+    with telemetry.scoped(tmp_path / "telemetry", "bench-auto"):
+        auto_makespan = makespan("auto")
+    series = read_metrics(tmp_path / "telemetry")["coordinator.max_in_flight"]
+    final_cap = series.last
+
+    print_banner("Adaptive cap — auto vs exhaustive static sweep (im-rp, 4 targets)")
+    for cap in static_caps:
+        marker = "  <- best" if cap == best_cap else ""
+        print(f"static cap {cap}: simulated makespan {statics[cap]:,.0f}s{marker}")
+    print(f"auto: simulated makespan {auto_makespan:,.0f}s, final cap {final_cap:.0f}")
+    print("decision trail:")
+    for sample in series.samples:
+        print(
+            f"  t={sample.attrs['sim_time']:>9,.0f}s cap={sample.value:.0f} "
+            f"busy={sample.attrs['busy_fraction']:.2f} "
+            f"pending={sample.attrs['pending_roots']} "
+            f"{sample.attrs['decision']}"
+        )
+    # The decision trail is visible evidence, not inference.
+    assert series.metric == "gauge" and series.count >= 1
+    # The acceptance bound: within one step of the best static cap.
+    assert abs(final_cap - best_cap) <= 1
+    # And auto's schedule is never slower than the all-serial cap.
+    assert auto_makespan <= statics[1]
+    telemetry.reset()

@@ -15,6 +15,9 @@ paper reports:
 * :mod:`repro.analysis.timeline` — per-worker span timelines, fleet
   utilization and straggler summaries reconstructed from the telemetry
   streams of *real* (non-simulated) multi-worker sweeps.
+* :mod:`repro.analysis.scaling` — the scaling-study reduction: the same
+  sweep at increasing fleet sizes, reduced to speedup/efficiency/
+  utilization per size (the ``orchestrate scale`` table).
 """
 
 from repro.analysis.utilization import UtilizationReport, utilization_report
@@ -26,6 +29,12 @@ from repro.analysis.comparison import (
     table1,
 )
 from repro.analysis.progress import QueueProgress, RunInFlight, format_queue_progress
+from repro.analysis.scaling import (
+    ScalingPoint,
+    ScalingStudy,
+    build_scaling_study,
+    format_scaling_table,
+)
 from repro.analysis.timeline import (
     FleetTimeline,
     TimelineEvent,
@@ -53,7 +62,11 @@ __all__ = [
     "ProtocolMatrixRow",
     "QueueProgress",
     "RunInFlight",
+    "ScalingPoint",
+    "ScalingStudy",
+    "build_scaling_study",
     "format_queue_progress",
+    "format_scaling_table",
     "FleetTimeline",
     "WorkerTimeline",
     "TimelineSpan",

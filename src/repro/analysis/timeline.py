@@ -199,7 +199,10 @@ def fleet_timeline(directory: Union[str, Path]) -> FleetTimeline:
     """
     spans: Dict[str, List[TimelineSpan]] = {}
     events: Dict[str, List[TimelineEvent]] = {}
-    for record in read_telemetry_dir(directory):
+    # Timelines are a span/event reduction: the kinds= filter keeps a
+    # metric-heavy stream (resource samplers emit continuously) from being
+    # materialised just to be discarded here.
+    for record in read_telemetry_dir(directory, kinds=("span", "event")):
         worker = record.get("worker") or "<unknown>"
         attrs = record.get("attrs")
         attrs = attrs if isinstance(attrs, dict) else {}

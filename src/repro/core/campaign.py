@@ -22,8 +22,9 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.core.coordinator import AUTO_IN_FLIGHT
 from repro.core.decision import AcceptancePolicy, SubPipelinePolicy
 from repro.core.protocols import (
     CampaignState,
@@ -73,6 +74,10 @@ class CampaignConfig:
         "backfill").
     max_in_flight_pipelines:
         Optional concurrency cap for the IM-RP coordinator (ablation knob).
+        A positive int is a static cap; the string ``"auto"`` enables the
+        utilization-adaptive controller (the cap starts at 1 and is retuned
+        per completed cycle from simulated busy fraction — deterministic,
+        so it participates in the run fingerprint like any other knob).
     adaptivity_schedule:
         Per-cycle adaptivity override (Fig 3 turns the last cycle off).
     acceptance / spawn_policy:
@@ -94,7 +99,7 @@ class CampaignConfig:
     platform_spec: Optional[PlatformSpec] = None
     scheduler_policy: str = "fifo"
     backfill_window: int = 16
-    max_in_flight_pipelines: Optional[int] = None
+    max_in_flight_pipelines: Union[int, str, None] = None
     adaptivity_schedule: Optional[Tuple[bool, ...]] = None
     acceptance: AcceptancePolicy = field(default_factory=AcceptancePolicy)
     spawn_policy: SubPipelinePolicy = field(default_factory=SubPipelinePolicy)
@@ -122,6 +127,14 @@ class CampaignConfig:
             raise CampaignError("n_cycles, n_sequences and max_retries must be >= 1")
         if self.duration_speedup <= 0:
             raise CampaignError("duration_speedup must be positive")
+        cap = self.max_in_flight_pipelines
+        if cap is not None:
+            valid = (isinstance(cap, int) and cap >= 1) or cap == AUTO_IN_FLIGHT
+            if not valid:
+                raise CampaignError(
+                    f"max_in_flight_pipelines must be a positive int, None or "
+                    f"{AUTO_IN_FLIGHT!r}, got {cap!r}"
+                )
 
 
 class DesignCampaign:

@@ -20,23 +20,36 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.decision import SubPipelinePolicy, SubPipelineSpec
+from repro.core.instrumentation import record_cycle_metrics
 from repro.core.pipeline import Pipeline, PipelineConfig, PipelineStatus
 from repro.core.results import PipelineRecord
 from repro.core.stages import StageFactory
 from repro.core.trajectory import CycleResult
 from repro.exceptions import CoordinatorError
+from repro.hpc.platform import ComputePlatform
 from repro.protein.datasets import DesignTarget
 from repro.protein.metrics import composite_score
 from repro.runtime.queues import Channel
 from repro.runtime.session import Session
 from repro.runtime.states import TaskState
 from repro.runtime.task import Task
+from repro.telemetry import metrics
 
-__all__ = ["CoordinatorConfig", "PipelinesCoordinator"]
+__all__ = [
+    "AUTO_IN_FLIGHT",
+    "AdaptiveInFlightController",
+    "CoordinatorConfig",
+    "PipelinesCoordinator",
+]
+
+#: Sentinel value of ``max_in_flight_pipelines`` selecting the adaptive
+#: utilization-driven controller instead of a static cap.
+AUTO_IN_FLIGHT = "auto"
 
 
 @dataclass(frozen=True)
@@ -53,12 +66,82 @@ class CoordinatorConfig:
         Optional cap on concurrently executing *root* pipelines; additional
         root pipelines wait in the submission channel until a slot frees up.
         Sub-pipelines always start immediately (they are the mechanism that
-        soaks up idle resources).
+        soaks up idle resources).  The string ``"auto"`` replaces the static
+        cap with an :class:`AdaptiveInFlightController`: the cap starts at 1
+        and is retuned after every completed cycle from the simulated
+        platform's busy fraction over a sliding window — a deterministic
+        function of the simulation, so seeded runs stay byte-identical
+        across workers and resumes.
     """
 
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     spawn_policy: SubPipelinePolicy = field(default_factory=SubPipelinePolicy)
-    max_in_flight_pipelines: Optional[int] = None
+    max_in_flight_pipelines: Union[int, str, None] = None
+
+
+class AdaptiveInFlightController:
+    """Retunes the root-pipeline cap from observed simulated busy fraction.
+
+    The observe→decide loop in its smallest form: after every completed
+    design cycle the controller reads the platform profiler's CPU/GPU busy
+    fraction over the trailing ``window_seconds`` of *simulated* time and,
+    while root pipelines are still waiting and the platform is under
+    ``target_utilization``, raises the cap by one — converging on the
+    smallest cap that saturates the platform instead of requiring the static
+    ablation sweep up front.
+
+    Every input is deterministic (simulated clock, profiler traces), so two
+    executions of the same spec make identical decisions regardless of the
+    worker or wall-clock speed; the decision trail is emitted as out-of-band
+    ``coordinator.max_in_flight`` gauges for auditing.
+    """
+
+    def __init__(
+        self,
+        platform: ComputePlatform,
+        initial_cap: int = 1,
+        window_seconds: float = 600.0,
+        target_utilization: float = 0.90,
+    ) -> None:
+        if initial_cap < 1:
+            raise CoordinatorError("adaptive in-flight cap must start >= 1")
+        self._platform = platform
+        self._window_seconds = window_seconds
+        self._target = target_utilization
+        self.cap = initial_cap
+        #: ``(simulated_time, cap, busy_fraction, decision)`` audit trail.
+        self.decisions: List[Tuple[float, int, float, str]] = []
+
+    def busy_fraction(self) -> float:
+        """Peak of CPU/GPU utilization over the trailing window (0 when idle)."""
+        now = self._platform.now
+        start = max(0.0, now - self._window_seconds)
+        if now <= start:
+            return 0.0
+        profiler = self._platform.profiler
+        window = (start, now)
+        return max(
+            profiler.cpu_utilization(window=window),
+            profiler.gpu_utilization(window=window),
+        )
+
+    def retune(self, pending_roots: int) -> bool:
+        """One decision step; returns True when the cap was raised."""
+        busy = self.busy_fraction()
+        raised = pending_roots > 0 and busy < self._target
+        if raised:
+            self.cap += 1
+        decision = "raise" if raised else "hold"
+        self.decisions.append((self._platform.now, self.cap, busy, decision))
+        metrics.gauge(
+            "coordinator.max_in_flight",
+            self.cap,
+            busy_fraction=busy,
+            pending_roots=pending_roots,
+            decision=decision,
+            sim_time=self._platform.now,
+        )
+        return raised
 
 
 class PipelinesCoordinator:
@@ -79,6 +162,19 @@ class PipelinesCoordinator:
         #: it runs after the decision step and must not mutate the campaign.
         self._on_cycle = on_cycle
         self._cycles_completed = 0
+        self._last_cycle_wall = time.perf_counter()
+
+        limit = self._config.max_in_flight_pipelines
+        if isinstance(limit, str) and limit != AUTO_IN_FLIGHT:
+            raise CoordinatorError(
+                f"max_in_flight_pipelines must be a positive int, None or "
+                f"{AUTO_IN_FLIGHT!r}, got {limit!r}"
+            )
+        self._adaptive: Optional[AdaptiveInFlightController] = (
+            AdaptiveInFlightController(session.platform)
+            if limit == AUTO_IN_FLIGHT
+            else None
+        )
 
         self._pipelines: Dict[str, Pipeline] = {}
         self._root_of: Dict[str, str] = {}
@@ -116,6 +212,18 @@ class PipelinesCoordinator:
     def n_cycles_completed(self) -> int:
         """Design cycles completed so far, across every pipeline."""
         return self._cycles_completed
+
+    @property
+    def adaptive_controller(self) -> Optional[AdaptiveInFlightController]:
+        """The live cap controller, when ``max_in_flight_pipelines="auto"``."""
+        return self._adaptive
+
+    def _current_limit(self) -> Optional[int]:
+        """The in-flight root cap in force right now (None = unlimited)."""
+        if self._adaptive is not None:
+            return self._adaptive.cap
+        limit = self._config.max_in_flight_pipelines
+        return limit if isinstance(limit, int) else None
 
     def add_target(
         self, target: DesignTarget, config: Optional[PipelineConfig] = None
@@ -173,7 +281,7 @@ class PipelinesCoordinator:
         return self.records()
 
     def _launch_pending_roots(self) -> None:
-        limit = self._config.max_in_flight_pipelines
+        limit = self._current_limit()
         while self.submission_channel:
             if limit is not None and self._in_flight_roots >= limit:
                 break
@@ -211,6 +319,19 @@ class PipelinesCoordinator:
         if step.completed_cycle is not None:
             self._decision_step(pipeline, step.completed_cycle)
             self._cycles_completed += 1
+            now = time.perf_counter()
+            record_cycle_metrics(
+                step.completed_cycle,
+                wall_seconds=now - self._last_cycle_wall,
+                protocol="pilot",
+            )
+            self._last_cycle_wall = now
+            if self._adaptive is not None and self._adaptive.retune(
+                len(self.submission_channel)
+            ):
+                # A raised cap frees slots immediately — launch into them
+                # instead of waiting for the next pipeline to finish.
+                self._launch_pending_roots()
             if self._on_cycle is not None:
                 self._on_cycle(self._cycles_completed)
         if step.pipeline_finished:

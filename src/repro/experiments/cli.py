@@ -37,6 +37,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import protocol_matrix
 from repro.analysis.reporting import format_protocol_matrix
+from repro.core.coordinator import AUTO_IN_FLIGHT
 from repro.core.protocols import available_protocols, get_protocol
 from repro.exceptions import ReproError
 from repro.hpc.scheduler import available_schedulers
@@ -45,7 +46,14 @@ from repro.experiments.suite import EXECUTORS, CampaignSuite
 from repro.store import RunStore, parse_shard
 from repro.utils.serialization import to_jsonable
 
-__all__ = ["add_sweep_arguments", "build_parser", "main", "positive_int", "sweep_from_args"]
+__all__ = [
+    "add_sweep_arguments",
+    "build_parser",
+    "in_flight_cap",
+    "main",
+    "positive_int",
+    "sweep_from_args",
+]
 
 
 def positive_int(text: str) -> int:
@@ -57,6 +65,18 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return value
+
+
+def in_flight_cap(text: str):
+    """Argparse type for ``--max-in-flight``: a positive int or ``auto``."""
+    if text == AUTO_IN_FLIGHT:
+        return AUTO_IN_FLIGHT
+    try:
+        return positive_int(text)
+    except argparse.ArgumentTypeError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer or {AUTO_IN_FLIGHT!r}, got {text!r}"
+        ) from None
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
@@ -89,8 +109,9 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="sequences generated per cycle (paper: 10)",
     )
     parser.add_argument(
-        "--max-in-flight", nargs="+", type=positive_int, default=None, metavar="N",
-        help="sweep the coordinator concurrency cap over these values",
+        "--max-in-flight", nargs="+", type=in_flight_cap, default=None, metavar="N",
+        help="sweep the coordinator concurrency cap over these values "
+        "(positive ints, or 'auto' for the utilization-adaptive controller)",
     )
     parser.add_argument(
         "--scheduler", choices=available_schedulers(), default=None,

@@ -24,6 +24,10 @@ paper's IM-RP runtime, applied to the reproduction's own campaign sweeps.
   (``python -m repro.orchestrate chaos``): a real multi-worker sweep under a
   seeded :class:`~repro.faults.FaultPlan` plus adversary SIGKILLs, verified
   byte-for-byte against a clean serial run.
+* :mod:`repro.orchestrate.scaling` — the scaling-study harness
+  (``python -m repro.orchestrate scale``): the same sweep at each requested
+  fleet size under tracing, byte-compared across sizes and reduced to the
+  paper-style speedup/utilization table.
 
 Determinism contract, extended to distributed execution: for a fixed sweep
 the finalized store's science bytes are independent of worker count, claim
@@ -43,6 +47,7 @@ from repro.orchestrate.lease import (
     try_steal,
 )
 from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
+from repro.orchestrate.scaling import ScalingRun, run_scaling_study
 from repro.orchestrate.worker import (
     RunTimeout,
     WorkerOutcome,
@@ -57,8 +62,10 @@ __all__ = [
     "HeartbeatError",
     "QueueEntry",
     "RunTimeout",
+    "ScalingRun",
     "WorkQueue",
     "WorkerOutcome",
+    "run_scaling_study",
     "default_worker_id",
     "finalize_queue",
     "queue_progress",

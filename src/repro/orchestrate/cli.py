@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 from repro import telemetry
 from repro.analysis.progress import format_queue_progress
+from repro.analysis.scaling import format_scaling_table
 from repro.analysis.timeline import fleet_timeline, format_fleet_timeline
 from repro.exceptions import ConfigurationError, OrchestrationError, ReproError
 from repro.experiments.cli import add_sweep_arguments, positive_int, sweep_from_args
@@ -44,6 +45,7 @@ from repro.faults import FAULT_KINDS, ForcedFault
 from repro.orchestrate.chaos import run_chaos
 from repro.orchestrate.coordinator import finalize_queue, queue_progress
 from repro.orchestrate.queue import QueueEntry, WorkQueue
+from repro.orchestrate.scaling import run_scaling_study
 from repro.orchestrate.worker import (
     DEFAULT_CHECKPOINT_SECONDS,
     DEFAULT_LEASE_SECONDS,
@@ -219,6 +221,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(repeatable)",
     )
 
+    scale = commands.add_parser(
+        "scale",
+        help="run the same sweep at each fleet size (threaded workers, "
+        "traced), byte-compare the finalized stores and print the "
+        "speedup/utilization scaling table",
+    )
+    scale.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="base directory; each fleet size drains <DIR>/scale-w<N>",
+    )
+    add_sweep_arguments(scale)
+    scale.add_argument(
+        "--workers", default="1,2", metavar="N,N,...",
+        help="comma-separated fleet sizes to measure (default: 1,2)",
+    )
+    scale.add_argument(
+        "--lease", type=_positive_float, default=60.0, metavar="S",
+        help="worker lease seconds for the threaded fleets (default: 60)",
+    )
+    scale.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="where to persist the study as JSON "
+        "(default: <DIR>/scaling.json)",
+    )
+
     chaos = commands.add_parser(
         "chaos",
         help="soak a sweep under a seeded fault adversary and verify the "
@@ -304,14 +331,42 @@ def _status_text(queue_dir: str, lease_seconds: float) -> "tuple[str, bool]":
 
 
 def _watch(queue_dir: str, lease_seconds: float, interval: float) -> None:
-    """Redraw the dashboard until the queue drains (or ctrl-C)."""
+    """Redraw the dashboard until the queue drains (or ctrl-C).
+
+    On a terminal each frame clears the screen (a live dashboard); piped or
+    redirected — CI logs, ``| tee`` — the ANSI codes would be garbage, so
+    frames print as plain snapshots separated by a rule line instead.
+    """
+    is_tty = sys.stdout.isatty()
+    first = True
     while True:
         text, drained = _status_text(queue_dir, lease_seconds)
-        # ANSI clear-screen + home: a live dashboard, not a scrolling log.
-        print(f"\x1b[2J\x1b[H{text}", flush=True)
+        if is_tty:
+            # ANSI clear-screen + home: a live dashboard, not a scrolling log.
+            print(f"\x1b[2J\x1b[H{text}", flush=True)
+        else:
+            if not first:
+                print("-" * 72, flush=True)
+            print(text, flush=True)
+        first = False
         if drained:
             return
         time.sleep(interval)
+
+
+def _parse_fleet_sizes(text: str) -> "list[int]":
+    """Parse the ``scale --workers`` flag: comma-separated sizes >= 1."""
+    try:
+        sizes = [int(item) for item in text.split(",") if item.strip()]
+    except ValueError:
+        raise ConfigurationError(
+            f"--workers must be comma-separated integers, got {text!r}"
+        ) from None
+    if not sizes or any(size < 1 for size in sizes):
+        raise ConfigurationError(
+            f"--workers needs one or more sizes >= 1, got {text!r}"
+        )
+    return sizes
 
 
 def _worker_log(event: str, entry: QueueEntry) -> None:
@@ -399,6 +454,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"Finalized queue {args.queue} -> {merged.path} "
                 f"({len(merged)} runs"
                 f"{', timing stripped' if args.strip_timing else ''})"
+            )
+        elif args.command == "scale":
+            study, runs = run_scaling_study(
+                args.queue,
+                sweep_from_args(args),
+                _parse_fleet_sizes(args.workers),
+                lease_seconds=args.lease,
+                log=print,
+            )
+            json_path = study.save(
+                args.json
+                if args.json is not None
+                else Path(args.queue) / "scaling.json"
+            )
+            print()
+            print(format_scaling_table(study))
+            print()
+            print(
+                f"Finalized stores byte-identical across "
+                f"{len(runs)} fleet size(s); study JSON -> {json_path}"
             )
         elif args.command == "chaos":
             report = run_chaos(

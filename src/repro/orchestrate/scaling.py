@@ -1,0 +1,154 @@
+"""The scaling-study harness: one sweep, repeated fleet sizes, measured.
+
+``run_scaling_study`` executes the *same* sweep once per requested fleet
+size — a fresh queue directory per size, ``N`` threaded workers draining it
+under tracing, a ``--strip-timing`` finalize — and reduces each size's
+telemetry into one :class:`~repro.analysis.scaling.ScalingPoint`.  Two
+invariants are enforced, not assumed:
+
+* every size's finalized store is **byte-identical** to the first size's
+  (the determinism contract: fleet size is an execution detail, not a
+  science input), and
+* every size observed the same number of run attempts.
+
+Workers run as threads sharing the process-global telemetry writer (the
+per-thread :func:`~repro.telemetry.api.worker_scope` labels their records),
+exactly like the traced-sweep acceptance test — so the harness needs no
+subprocesses and the study works on any host, single-core included.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.scaling import ScalingStudy, build_scaling_study
+from repro.analysis.timeline import FleetTimeline, fleet_timeline
+from repro.exceptions import OrchestrationError
+from repro.experiments.spec import SweepSpec
+from repro.experiments.suite import execute_run
+from repro.orchestrate.coordinator import finalize_queue
+from repro.orchestrate.queue import WorkQueue
+from repro.orchestrate.worker import WorkerOutcome, run_worker
+from repro.telemetry import api as telemetry
+
+__all__ = ["ScalingRun", "run_scaling_study"]
+
+#: Stream label of the harness process itself (workers label their own
+#: records through per-thread worker scopes).
+HARNESS_WORKER = "scale-harness"
+
+
+@dataclass(frozen=True)
+class ScalingRun:
+    """What one fleet size's drain produced (study input + artifacts)."""
+
+    n_workers: int
+    wall_seconds: float
+    queue_dir: Path
+    telemetry_dir: Path
+    finalized_path: Path
+    fleet: FleetTimeline
+    outcomes: Tuple[WorkerOutcome, ...]
+
+
+def _drain_with_fleet(
+    queue: WorkQueue,
+    n_workers: int,
+    *,
+    execute: Callable,
+    lease_seconds: float,
+) -> Tuple[WorkerOutcome, ...]:
+    """Drain ``queue`` with ``n_workers`` threaded workers (fixed fleet)."""
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        futures = [
+            pool.submit(
+                run_worker,
+                queue,
+                worker_id=f"w{index}",
+                execute=execute,
+                lease_seconds=lease_seconds,
+                wait=False,
+            )
+            for index in range(n_workers)
+        ]
+        return tuple(future.result() for future in futures)
+
+
+def run_scaling_study(
+    base_dir: Union[str, Path],
+    sweep: SweepSpec,
+    workers: Sequence[int],
+    *,
+    execute: Callable = execute_run,
+    lease_seconds: float = 60.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[ScalingStudy, Tuple[ScalingRun, ...]]:
+    """Run ``sweep`` once per fleet size in ``workers`` and measure each.
+
+    Each size gets its own queue directory ``<base_dir>/scale-w<N>`` with a
+    telemetry directory the threaded workers stream to; after the drain the
+    queue is finalized with timing stripped and the result compared
+    byte-for-byte against the first size's.  Returns the reduced
+    :class:`ScalingStudy` plus the per-size artifacts.
+
+    ``execute`` is injectable exactly as in :func:`run_worker` — benchmarks
+    substitute a sleep-based executor to measure harness scaling without
+    simulating science.
+    """
+    sizes = list(workers)
+    if not sizes:
+        raise OrchestrationError("a scaling study needs at least one fleet size")
+    if any(size < 1 for size in sizes):
+        raise OrchestrationError(f"fleet sizes must be >= 1, got {sizes}")
+    if len(set(sizes)) != len(sizes):
+        raise OrchestrationError(f"fleet sizes must be unique, got {sizes}")
+
+    base_dir = Path(base_dir)
+    runs: List[ScalingRun] = []
+    reference_bytes: Optional[bytes] = None
+    for size in sorted(sizes):
+        queue_dir = base_dir / f"scale-w{size}"
+        queue = WorkQueue.create(queue_dir, sweep)
+        telemetry_dir = queue_dir / "telemetry"
+        if log is not None:
+            log(
+                f"scale: draining {len(queue.entries())} run(s) with "
+                f"{size} worker(s) in {queue_dir}"
+            )
+        start = time.perf_counter()
+        with telemetry.scoped(telemetry_dir, HARNESS_WORKER):
+            outcomes = _drain_with_fleet(
+                queue, size, execute=execute, lease_seconds=lease_seconds
+            )
+        wall_seconds = time.perf_counter() - start
+        finalized = finalize_queue(
+            queue, queue_dir / "finalized.jsonl", strip_timing=True
+        )
+        payload = finalized.path.read_bytes()
+        if reference_bytes is None:
+            reference_bytes = payload
+        elif payload != reference_bytes:
+            raise OrchestrationError(
+                f"fleet size {size} finalized different science bytes than "
+                f"size {runs[0].n_workers} — determinism contract violated "
+                f"({finalized.path} vs {runs[0].finalized_path})"
+            )
+        runs.append(
+            ScalingRun(
+                n_workers=size,
+                wall_seconds=wall_seconds,
+                queue_dir=queue_dir,
+                telemetry_dir=telemetry_dir,
+                finalized_path=finalized.path,
+                fleet=fleet_timeline(telemetry_dir),
+                outcomes=outcomes,
+            )
+        )
+    study = build_scaling_study(
+        (run.n_workers, run.wall_seconds, run.fleet) for run in runs
+    )
+    return study, tuple(runs)

@@ -58,6 +58,8 @@ from repro.orchestrate.queue import QueueEntry, WorkQueue, validate_worker_id
 from repro.store.checkpoint import CheckpointStore
 from repro.store.runstore import RunStore
 from repro.telemetry import api as telemetry
+from repro.telemetry import metrics
+from repro.telemetry.resources import start_resource_sampler
 from repro.utils.retrying import call_with_retries
 
 __all__ = ["RunTimeout", "WorkerOutcome", "default_worker_id", "run_worker"]
@@ -228,13 +230,20 @@ def run_worker(
             lease_seconds=lease_seconds,
             n_runs=len(entries),
         )
-        _drain(
-            queue, entries, worker, store, checkpoints, outcome, notify,
-            lease_seconds=lease_seconds, poll_seconds=poll_seconds,
-            max_runs=max_runs, max_attempts=max_attempts,
-            checkpoint_seconds=checkpoint_seconds, run_timeout=run_timeout,
-            wait=wait, execute=execute,
-        )
+        # Resource gauges (RSS/CPU) stream from a best-effort daemon thread
+        # for the drain's duration; a disabled writer means no sampler at all.
+        sampler = start_resource_sampler(worker)
+        try:
+            _drain(
+                queue, entries, worker, store, checkpoints, outcome, notify,
+                lease_seconds=lease_seconds, poll_seconds=poll_seconds,
+                max_runs=max_runs, max_attempts=max_attempts,
+                checkpoint_seconds=checkpoint_seconds, run_timeout=run_timeout,
+                wait=wait, execute=execute,
+            )
+        finally:
+            if sampler is not None:
+                sampler.stop()
         outcome.wall_seconds = time.perf_counter() - start
         telemetry.event(
             "worker.exit",
@@ -483,13 +492,20 @@ def _execute_with_budget(
                 "worker.checkpoint", run=entry.spec.run_id, cycle=state.cycle,
                 worker=worker,
             ):
-                call_with_retries(
+                saved = call_with_retries(
                     lambda: checkpoints.save(
                         entry.fingerprint, state,
                         run_id=entry.spec.run_id, worker=worker,
                     ),
                     site="checkpoint.save",
                 )
+            try:
+                metrics.gauge(
+                    "checkpoint.bytes", saved.stat().st_size,
+                    run=entry.spec.run_id, cycle=state.cycle, worker=worker,
+                )
+            except OSError:
+                pass  # payload-size gauge is observation only
         except OSError:
             # Checkpoints accelerate recovery, they do not gate correctness:
             # a save that fails persistently (queue-FS outage, ENOSPC) must

@@ -14,9 +14,19 @@ chaos CI smokes ``cmp`` exactly that).  Disabled — the default — a crossing
 costs one global read and one comparison, bounded by the orchestrate
 benchmark at ≤5% of a drain.
 
+On top of spans and events, :mod:`repro.telemetry.metrics` adds the number
+side of the stream — :func:`~repro.telemetry.metrics.counter` /
+:func:`~repro.telemetry.metrics.gauge` /
+:func:`~repro.telemetry.metrics.histogram` records with the same disabled
+cost and the same out-of-band contract — and
+:mod:`repro.telemetry.resources` samples per-worker RSS/CPU gauges from a
+best-effort daemon thread.
+
 Read it back with :mod:`repro.analysis.timeline` (per-worker timelines,
-utilization, stragglers) or live via ``python -m repro.orchestrate status
---watch`` and ``… report``.
+utilization, stragglers), :func:`repro.telemetry.metrics.read_metrics`
+(per-name series and aggregates), or live via ``python -m repro.orchestrate
+status --watch`` and ``… report``; ``… scale`` turns the streams of repeated
+fleet sizes into a paper-style scaling study.
 """
 
 from repro.telemetry.api import (
@@ -31,6 +41,17 @@ from repro.telemetry.api import (
     span,
     worker_scope,
 )
+from repro.telemetry.metrics import (
+    METRIC_KINDS,
+    MetricSample,
+    MetricSeries,
+    counter,
+    gauge,
+    histogram,
+    metrics_from_records,
+    read_metrics,
+)
+from repro.telemetry.resources import ResourceSampler, start_resource_sampler
 from repro.telemetry.writer import (
     TELEMETRY_SCHEMA_VERSION,
     TelemetryWriter,
@@ -39,18 +60,28 @@ from repro.telemetry.writer import (
 )
 
 __all__ = [
+    "METRIC_KINDS",
+    "MetricSample",
+    "MetricSeries",
+    "ResourceSampler",
     "TELEMETRY_ENV",
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryWriter",
     "active_writer",
+    "counter",
     "disable",
     "enable",
     "enabled",
     "event",
+    "gauge",
+    "histogram",
     "iter_telemetry_file",
+    "metrics_from_records",
+    "read_metrics",
     "read_telemetry_dir",
     "reset",
     "scoped",
     "span",
+    "start_resource_sampler",
     "worker_scope",
 ]

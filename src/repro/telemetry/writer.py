@@ -8,6 +8,9 @@ One telemetry stream is one append-only JSONL file — typically
     {"v": 1, "kind": "span", "name": "worker.run", "start": 1699.3,
      "end": 1712.9, "ok": true, "pid": 4242, "worker": "w0",
      "attrs": {"run": "im-rp-s3"}}
+    {"v": 1, "kind": "metric", "name": "campaign.cycle_seconds",
+     "metric": "histogram", "value": 0.8, "at": 1699.4, "pid": 4242,
+     "worker": "w0", "attrs": {"run": "im-rp-s3"}}
 
 Design constraints, in order of importance:
 
@@ -35,7 +38,7 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Collection, Dict, Iterator, List, Optional, Union
 
 from repro.exceptions import TelemetryError
 
@@ -124,6 +127,35 @@ class TelemetryWriter:
             }
         )
 
+    def write_metric(
+        self,
+        name: str,
+        value: float,
+        metric: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        at: Optional[float] = None,
+        worker: Optional[str] = None,
+    ) -> None:
+        """Append one metric sample (``metric`` is counter/gauge/histogram).
+
+        Metric records ride the same schema version as spans and events —
+        older readers that only consume ``span``/``event`` kinds skip them
+        without error, which is why adding the kind is not a version bump.
+        """
+        self._write(
+            {
+                "v": TELEMETRY_SCHEMA_VERSION,
+                "kind": "metric",
+                "name": name,
+                "metric": metric,
+                "value": float(value),
+                "at": time.time() if at is None else at,
+                "pid": os.getpid(),
+                "worker": worker if worker is not None else self._worker,
+                "attrs": dict(attrs or {}),
+            }
+        )
+
     def _write(self, record: Dict[str, Any]) -> None:
         # Serialise outside the lock, write-and-flush inside it: one line per
         # record, so a crash tears at most the final line.  Telemetry must
@@ -153,13 +185,23 @@ class TelemetryWriter:
                 self._handle = None
 
 
-def iter_telemetry_file(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+def iter_telemetry_file(
+    path: Union[str, Path],
+    kinds: Optional[Collection[str]] = None,
+    names: Optional[Collection[str]] = None,
+) -> Iterator[Dict[str, Any]]:
     """Stream the records of one telemetry file, skipping the torn tail.
 
     Unparsable lines are ignored (a crashing process tears at most its final
     line; mid-file garbage is indistinguishable and equally skippable), but a
     record from a *newer schema* is a hard :class:`TelemetryError` — silently
     misreading it would corrupt a timeline, not just shorten it.
+
+    ``kinds`` / ``names`` restrict what is yielded (``None`` means no
+    filter), so readers that only want spans — or one metric's samples — do
+    not materialise every record of a large stream.  Schema validation still
+    covers every line: filtering selects records, it must not mask a stream
+    this build cannot read.
     """
     path = Path(path)
     try:
@@ -183,20 +225,29 @@ def iter_telemetry_file(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
                 f"telemetry file {path} carries schema v{version}, newer than "
                 f"this build's v{TELEMETRY_SCHEMA_VERSION}; upgrade to read it"
             )
+        if kinds is not None and record.get("kind") not in kinds:
+            continue
+        if names is not None and record.get("name") not in names:
+            continue
         yield record
 
 
-def read_telemetry_dir(directory: Union[str, Path]) -> List[Dict[str, Any]]:
+def read_telemetry_dir(
+    directory: Union[str, Path],
+    kinds: Optional[Collection[str]] = None,
+    names: Optional[Collection[str]] = None,
+) -> List[Dict[str, Any]]:
     """Every record under ``directory`` (``*.jsonl``), time-sorted.
 
     The sort is stable, so records observed at the same instant keep their
     per-file order.  A missing directory reads as an empty fleet.
+    ``kinds`` / ``names`` filter exactly as in :func:`iter_telemetry_file`.
     """
     directory = Path(directory)
     records: List[Dict[str, Any]] = []
     if not directory.is_dir():
         return records
     for path in sorted(directory.glob("*.jsonl")):
-        records.extend(iter_telemetry_file(path))
+        records.extend(iter_telemetry_file(path, kinds=kinds, names=names))
     records.sort(key=_record_time)
     return records

@@ -101,6 +101,59 @@ class TestFleetArithmetic:
         assert format_fleet_timeline(fleet).startswith("Fleet telemetry: 0")
 
 
+class TestEdgeCases:
+    def test_zero_duration_spans_count_without_dividing_by_zero(self, tmp_path):
+        directory = tmp_path / "telemetry"
+        writer = TelemetryWriter(directory / "w0.jsonl", "w0")
+        writer.write_span("worker.run", 50.0, 50.0, True, {"run": "r-z"})
+        fleet = fleet_timeline(directory)
+        assert fleet.n_run_spans == 1
+        assert fleet.busy_seconds == 0.0
+        assert fleet.makespan_seconds == 0.0
+        assert fleet.utilization == 0.0
+        # The formatter renders without bars (no positive makespan to bin).
+        text = format_fleet_timeline(fleet)
+        assert text.startswith("Fleet telemetry: 1 worker(s), 1 run span(s)")
+        assert "busy timeline" not in text
+
+    def test_unlabelled_records_group_under_unknown(self, tmp_path):
+        directory = tmp_path / "telemetry"
+        writer = TelemetryWriter(directory / "anon.jsonl", "ignored")
+        writer.write_span("worker.run", 0.0, 5.0, True, {"run": "r-u"}, worker="")
+        fleet = fleet_timeline(directory)
+        assert [w.worker for w in fleet.workers] == ["<unknown>"]
+        assert "<unknown>" in format_fleet_timeline(fleet)
+
+    def test_events_only_stream_reconstructs_an_idle_worker(self, tmp_path):
+        directory = tmp_path / "telemetry"
+        writer = TelemetryWriter(directory / "w0.jsonl", "w0")
+        writer.write_event("worker.start", {"queue": "q"}, at=10.0)
+        writer.write_event("worker.exit", {"executed": 0}, at=25.0)
+        fleet = fleet_timeline(directory)
+        [worker] = fleet.workers
+        assert worker.run_spans == ()
+        assert worker.start == 10.0 and worker.end == 25.0
+        assert fleet.n_run_spans == 0
+        assert fleet.straggler is None and fleet.critical_span is None
+        # Makespan spans the events; utilization is all idle.
+        assert fleet.makespan_seconds == pytest.approx(15.0)
+        assert fleet.utilization == 0.0
+        assert fleet.idle_tail_seconds == pytest.approx(15.0)
+        format_fleet_timeline(fleet)  # renders without a postscript crash
+
+    def test_metric_records_do_not_leak_into_timelines(self, tmp_path):
+        directory = tmp_path / "telemetry"
+        with telemetry.scoped(directory, "w0"):
+            from repro.telemetry import metrics
+
+            metrics.gauge("worker.rss_bytes", 1.0)
+            with telemetry.span("worker.run", run="r-m"):
+                pass
+        fleet = fleet_timeline(directory)
+        [worker] = fleet.workers
+        assert len(worker.spans) == 1 and worker.events == ()
+
+
 class TestFormat:
     def test_report_carries_the_grep_stable_summary(self, synthetic):
         text = format_fleet_timeline(fleet_timeline(synthetic))

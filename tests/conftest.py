@@ -7,6 +7,9 @@ well under a second each.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.core.campaign import CampaignConfig, DesignCampaign
@@ -23,6 +26,38 @@ from repro.protein.mpnn import SurrogateProteinMPNN
 from repro.protein.scoring import ScoringFunction
 from repro.runtime.durations import DurationModel
 from repro.runtime.session import Session
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+def pytest_sessionstart(session):
+    """Fail fast if any ``repro`` package resolves outside ``src/``.
+
+    Stale build residue — an orphaned ``__pycache__`` directory left behind
+    by a deleted module, an ``egg-info`` on ``sys.path`` — silently shadows
+    the tracked sources: imports succeed, but the suite exercises bytecode
+    for files that no longer exist.  Every already-imported ``repro``
+    module must be a real ``.py`` file under ``src/``, and no package may
+    be a source-less namespace directory (the ``__pycache__``-only case).
+    """
+    for name, module in list(sys.modules.items()):
+        if name != "repro" and not name.startswith("repro."):
+            continue
+        origin = getattr(module, "__file__", None)
+        if origin is None:
+            # A package with no __init__.py is a namespace shell — exactly
+            # what an orphaned __pycache__ directory produces.
+            raise pytest.UsageError(
+                f"module {name!r} resolved to a namespace package "
+                f"{getattr(module, '__path__', '?')}; stale residue under "
+                f"src/ is shadowing the tracked sources"
+            )
+        path = Path(origin).resolve()
+        if path.suffix != ".py" or SRC_ROOT not in path.parents:
+            raise pytest.UsageError(
+                f"module {name!r} imported from {origin}; expected a .py "
+                f"file under {SRC_ROOT}"
+            )
 
 
 @pytest.fixture(scope="session")

@@ -190,3 +190,79 @@ class TestTelemetryCli:
             == 0
         )
         assert "2/2 runs done" in capsys.readouterr().out
+
+    def test_watch_piped_prints_plain_snapshots(self, tmp_path, capsys):
+        """Redirected --watch (CI logs, `| tee`) must not emit ANSI codes."""
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        orchestrate_main(
+            ["worker", "--queue", str(queue_dir), "--worker-id", "w0", "--no-wait"]
+        )
+        capsys.readouterr()
+        assert (
+            orchestrate_main(
+                [
+                    "status", "--queue", str(queue_dir),
+                    "--watch", "--interval", "0.01",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # capsys stdout is not a TTY, so the fallback path is in force.
+        assert "\x1b[" not in out
+        assert "2/2 runs done" in out
+
+    def test_watch_on_a_tty_clears_between_frames(self, tmp_path, capsys, monkeypatch):
+        import sys as _sys
+
+        queue_dir = tmp_path / "queue"
+        _init(queue_dir)
+        orchestrate_main(
+            ["worker", "--queue", str(queue_dir), "--worker-id", "w0", "--no-wait"]
+        )
+        capsys.readouterr()
+        monkeypatch.setattr(_sys.stdout, "isatty", lambda: True, raising=False)
+        assert (
+            orchestrate_main(
+                [
+                    "status", "--queue", str(queue_dir),
+                    "--watch", "--interval", "0.01",
+                ]
+            )
+            == 0
+        )
+        assert "\x1b[2J\x1b[H" in capsys.readouterr().out
+
+    def test_scale_session(self, tmp_path, capsys):
+        base = tmp_path / "scale"
+        assert (
+            orchestrate_main(
+                [
+                    "scale", "--queue", str(base),
+                    "--protocols", "im-rp",
+                    "--seeds", "3",
+                    "--cycles", "1",
+                    "--sequences", "4",
+                    "--target-seed", "11",
+                    "--workers", "1,2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Scaling study: 2 fleet size(s)" in out
+        assert "byte-identical across 2 fleet size(s)" in out
+        assert (base / "scaling.json").is_file()
+        assert (base / "scale-w1" / "finalized.jsonl").is_file()
+        assert (base / "scale-w2" / "telemetry").is_dir()
+
+    def test_scale_rejects_bad_worker_lists(self, tmp_path, capsys):
+        for bad in ("zero", "0,1", ""):
+            assert (
+                orchestrate_main(
+                    ["scale", "--queue", str(tmp_path / "q"), "--workers", bad]
+                )
+                == 2
+            )
+            assert "--workers" in capsys.readouterr().err
